@@ -1,0 +1,83 @@
+"""Buffering-depth ablation: the paper's double-buffering contribution.
+
+"[Nexus++] supports double (in fact arbitrary) buffering by providing a
+Task Controller at each worker core that buffers tasks before they are
+executed."  Depth 1 reproduces the original Nexus (no overlap of a task's
+input fetch with another task's execution); the paper's default is 2.
+
+Where the effect shows: whenever throughput is bound by the worker
+pipeline — the single-core H.264 run (mean 7.5 us memory hidden behind
+11.8 us execution: ~1.6x) and the multi-core independent-task run.  Where
+it cannot show: the 32-core wavefront, whose ramping dependency structure,
+not fetch latency, is the limit — that non-effect is asserted too.
+"""
+
+from conftest import report
+
+from repro.analysis import render_table
+from repro.config import SystemConfig
+from repro.machine import run_trace
+from repro.traces import independent_trace
+
+DEPTHS = [1, 2, 4]
+WORKERS = 32
+
+
+def _experiment(h264):
+    indep = independent_trace()
+    out = {}
+    for depth in DEPTHS:
+        single = run_trace(
+            h264, SystemConfig(workers=1, buffering_depth=depth)
+        ).makespan
+        multi_indep = run_trace(
+            indep, SystemConfig(workers=WORKERS, buffering_depth=depth)
+        ).makespan
+        multi_wave = run_trace(
+            h264, SystemConfig(workers=WORKERS, buffering_depth=depth)
+        ).makespan
+        out[depth] = (single, multi_indep, multi_wave)
+    return out
+
+
+def test_buffering_depth(benchmark, h264_trace):
+    out = benchmark.pedantic(_experiment, args=(h264_trace,), rounds=1, iterations=1)
+
+    rows = [
+        [
+            depth,
+            round(single / 1e9, 2),
+            round(indep / 1e9, 3),
+            round(wave / 1e9, 2),
+        ]
+        for depth, (single, indep, wave) in out.items()
+    ]
+    text = render_table(
+        [
+            "TC depth",
+            "H.264 1-core (ms)",
+            f"independent {WORKERS}-core (ms)",
+            f"H.264 {WORKERS}-core (ms)",
+        ],
+        rows,
+        "Buffering-depth ablation (depth 1 = original Nexus, 2 = paper default)",
+    )
+    gain_single = out[1][0] / out[2][0]
+    gain_indep = out[1][1] / out[2][1]
+    text += (
+        f"\nDouble buffering gains: {gain_single:.2f}x single-core H.264, "
+        f"{gain_indep:.2f}x {WORKERS}-core independent; the {WORKERS}-core "
+        "wavefront is application-limited, so depth is irrelevant there "
+        "by design."
+    )
+    report("buffering_ablation", text)
+
+    # Double buffering hides the ~7.5us memory phase behind the ~11.8us
+    # execution: >= 1.3x on pipeline-bound configurations.
+    assert gain_single > 1.3
+    assert gain_indep > 1.3
+    # Diminishing returns past depth 2 (within 5%).
+    assert out[4][0] > 0.95 * out[2][0]
+    assert out[4][1] > 0.95 * out[2][1]
+    # The dependency-limited 32-core wavefront is insensitive to depth.
+    assert abs(out[2][2] - out[1][2]) / out[1][2] < 0.10

@@ -1,0 +1,63 @@
+"""Microbenchmarks of the substrate itself (regression guard, not a paper
+figure): discrete-event kernel event rate, Dependence Table operation
+cost, and full-machine simulation throughput in tasks per wall-second.
+
+These use pytest-benchmark's statistics properly (multiple rounds) since
+they are microbenchmarks rather than one-shot experiments.
+"""
+
+from repro.config import SystemConfig
+from repro.hw.dependence_table import DependenceTable
+from repro.machine import run_trace
+from repro.sim import Fifo, Simulator
+from repro.traces import independent_trace
+
+
+def test_event_kernel_throughput(benchmark):
+    """Ping-pong through a FIFO: two context switches per event pair."""
+
+    def run():
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=4)
+
+        def producer():
+            for i in range(2000):
+                yield fifo.put(i)
+
+        def consumer():
+            for _ in range(2000):
+                yield fifo.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        return sim.now
+
+    benchmark(run)
+
+
+def test_dependence_table_ops(benchmark):
+    """check_param/finish_param pairs over a hot address set."""
+
+    def run():
+        dt = DependenceTable(4096, 8)
+        for round_ in range(200):
+            for a in range(16):
+                addr = 0x1000 + a * 256
+                dt.check_param(round_ * 16 + a, addr, 256, True, True)
+                granted, _ = dt.finish_param(round_ * 16 + a, addr, True, True)
+        assert dt.is_empty
+        return dt.total_lookups
+
+    benchmark(run)
+
+
+def test_machine_tasks_per_second(benchmark):
+    """Full-machine simulation rate on a 1000-task independent trace."""
+    trace = independent_trace(n_tasks=1000)
+    cfg = SystemConfig(workers=16)
+
+    def run():
+        return run_trace(trace, cfg).makespan
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,65 @@
+"""Fig. 8: Gaussian elimination speedup per matrix size.
+
+Paper: matrices 250..5000; "the matrix size has a great impact on the
+speedup gain and the scalability of the system, since a bigger matrix
+results in a larger number of tasks of larger granularity"; n=250 "scaled
+to 4 cores and a speedup of 2.3x"; n=5000 reached 45x on 64 cores.
+
+A Python discrete-event simulation cannot replay 12.5M-task traces in a
+benchmark suite, so the default tier runs n in {100, 250} and REPRO_FULL=1
+adds n=500 (125K tasks, ~7 runs x ~30s).  The paper's monotone-in-n shape
+is asserted on whatever sizes ran; EXPERIMENTS.md records the mapping to
+the published curves.
+"""
+
+from conftest import FULL, report
+
+from repro.analysis import compare, plot_speedup_curves, render_table
+from repro.config import SystemConfig
+from repro.machine import speedup_curve
+from repro.traces import gaussian_trace
+
+SIZES = [100, 250] + ([500] if FULL else [])
+CORES = [1, 2, 4, 8, 16, 32, 64]
+
+
+def _experiment():
+    cfg = SystemConfig()  # contention modeled, double buffering (paper setup)
+    return {n: speedup_curve(gaussian_trace(n), CORES, cfg) for n in SIZES}
+
+
+def test_fig8_gaussian_elimination(benchmark):
+    curves = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    headers = ["cores"] + [f"n={n}" for n in SIZES]
+    rows = [
+        [c] + [round(curves[n].speedups[i], 2) for n in SIZES]
+        for i, c in enumerate(CORES)
+    ]
+    text = render_table(headers, rows, "Fig. 8 — GE speedup vs cores per matrix size")
+    text += "\n\n" + plot_speedup_curves(
+        {f"n={n}": curves[n].rows() for n in SIZES},
+        title="Fig. 8 reproduction (larger n scales further)",
+    )
+    comp = compare(
+        "fig8", "n=250 speedup@4cores", 2.3, curves[250].at(4)
+    )
+    text += "\n\n" + render_table(
+        ["experiment", "metric", "paper", "measured", "ratio"],
+        [comp.row()],
+        "paper vs measured",
+    )
+    report("fig8_gaussian", text)
+
+    # Monotone in matrix size at every core count >= 4.
+    for i, c in enumerate(CORES):
+        if c < 4:
+            continue
+        speedups = [curves[n].speedups[i] for n in SIZES]
+        assert speedups == sorted(speedups), f"not monotone in n at {c} cores"
+    # n=250: "scaled to 4 cores and a speedup of 2.3x" — within 50%.
+    assert 1.5 <= curves[250].at(4) <= 3.5
+    # ...and flat beyond: 64 cores gain little over 8.
+    assert curves[250].at(64) < curves[250].at(8) * 1.3
+    # Fine-grained tasks still run correctly (the n=100 column exists at all).
+    assert curves[100].at(4) > 1.2

@@ -1,0 +1,72 @@
+"""Headline numbers (§V ¶1 and abstract): independent-task scalability.
+
+Paper: "the independent tasks benchmark achieved a speedup of 54x on 64
+cores.  Furthermore, it achieved 143x on 256 cores, assuming
+contention-free memory.  When disabling task preparation delay, the
+resulting speedup was 221x using 256 cores."
+
+Default tier runs 64-core machines (plus 256-core when REPRO_FULL=1).
+"""
+
+from conftest import FULL, report
+
+from repro.analysis import compare, render_table
+from repro.config import SystemConfig, contention_free, no_prep_delay
+from repro.machine import run_trace
+
+
+def _experiment(trace):
+    rows = []
+    comparisons = []
+
+    base = run_trace(trace, SystemConfig(workers=1))
+    rows.append(["1 core (baseline, contention)", 1, base.makespan / 1e9, 1.0])
+
+    r64 = run_trace(trace, SystemConfig(workers=64))
+    s64 = r64.speedup_over(base)
+    rows.append(["memory contention modeled", 64, r64.makespan / 1e9, round(s64, 1)])
+    comparisons.append(compare("headline", "speedup@64 (contention)", 54, s64))
+
+    base_cf = run_trace(trace, contention_free(workers=1))
+    cf_cores = 256 if FULL else 128
+    r_cf = run_trace(trace, contention_free(workers=cf_cores))
+    s_cf = r_cf.speedup_over(base_cf)
+    rows.append(["contention-free", cf_cores, r_cf.makespan / 1e9, round(s_cf, 1)])
+    if cf_cores == 256:
+        comparisons.append(compare("headline", "speedup@256 (cont-free)", 143, s_cf))
+
+    r_np = run_trace(trace, no_prep_delay(workers=cf_cores))
+    s_np = r_np.speedup_over(base_cf)
+    rows.append(
+        ["contention-free, no prep delay", cf_cores, r_np.makespan / 1e9, round(s_np, 1)]
+    )
+    if cf_cores == 256:
+        comparisons.append(compare("headline", "speedup@256 (no prep)", 221, s_np))
+
+    return rows, comparisons, (s64, s_cf, s_np)
+
+
+def test_headline_speedups(benchmark, independent_trace_full):
+    rows, comparisons, (s64, s_cf, s_np) = benchmark.pedantic(
+        _experiment, args=(independent_trace_full,), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["configuration", "cores", "makespan (ms)", "speedup"],
+        rows,
+        "Independent tasks (8160 tasks, double buffering)",
+    )
+    if comparisons:
+        text += "\n\n" + render_table(
+            ["experiment", "metric", "paper", "measured", "ratio"],
+            [c.row() for c in comparisons],
+            "paper vs measured",
+        )
+    report("headline_speedup", text)
+
+    # Shape assertions (the paper's qualitative claims):
+    # memory contention caps the 64-core run well below linear...
+    assert 40 <= s64 <= 60
+    # ...which the contention-free run does not suffer from...
+    assert s_cf > s64 * 1.8
+    # ...and removing the 30ns preparation delay pushes it further.
+    assert s_np > s_cf

@@ -1,0 +1,77 @@
+"""Renaming ablation (extension; §III-B).
+
+The paper notes WAR/WAW hazards "are false dependencies and are normally
+resolved using renaming techniques; Nexus++ supports them as a safe
+guard."  This bench quantifies both halves of that sentence:
+
+* how much performance the safe guard costs on a WAW-heavy streaming
+  pipeline (runtime-side renaming recovers item-level parallelism);
+* what renaming costs the hardware: more live addresses, so more
+  Dependence Table pressure.
+"""
+
+from conftest import report
+
+from repro.analysis import render_table
+from repro.config import SystemConfig
+from repro.machine import analyze_bottleneck, run_trace
+from repro.runtime.renaming import count_false_dependencies, rename_trace
+from repro.traces import pipeline_trace
+
+WORKERS = 16
+
+
+def _experiment():
+    trace = pipeline_trace(items=192, stages=4)
+    renamed = rename_trace(trace)
+    cfg = SystemConfig(workers=WORKERS, memory_contention=False)
+    base_plain = run_trace(trace, cfg.with_(workers=1))
+    plain = run_trace(trace, cfg)
+    base_renamed = run_trace(renamed, cfg.with_(workers=1))
+    ren = run_trace(renamed, cfg)
+    return trace, renamed, base_plain, plain, base_renamed, ren, cfg
+
+
+def test_renaming_recovers_false_parallelism(benchmark):
+    trace, renamed, base_plain, plain, base_renamed, ren, cfg = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1
+    )
+    raw, war, waw = count_false_dependencies(trace)
+    raw2, war2, waw2 = count_false_dependencies(renamed)
+
+    s_plain = plain.speedup_over(base_plain)
+    s_ren = ren.speedup_over(base_renamed)
+    rows = [
+        ["edges RAW/WAR/WAW", f"{raw}/{war}/{waw}", f"{raw2}/{war2}/{waw2}"],
+        [f"speedup @ {WORKERS} cores", round(s_plain, 2), round(s_ren, 2)],
+        ["makespan (ms)", round(plain.makespan / 1e9, 2), round(ren.makespan / 1e9, 2)],
+        [
+            "DT high water",
+            plain.stats["dep_table"]["high_water"],
+            ren.stats["dep_table"]["high_water"],
+        ],
+        [
+            "bottleneck",
+            analyze_bottleneck(plain, cfg).verdict,
+            analyze_bottleneck(ren, cfg).verdict,
+        ],
+    ]
+    text = render_table(
+        ["metric", "as submitted", "after renaming"],
+        rows,
+        "Streaming pipeline (192 items x 4 stages), WAW scratch-state chains",
+    )
+    text += (
+        "\nRenaming removes every WAR/WAW edge, unlocking item-level "
+        "parallelism the safe-guard serialisation was suppressing — at the "
+        "price of more live Dependence Table entries."
+    )
+    report("renaming_ablation", text)
+
+    assert war2 == 0 and waw2 == 0  # renaming removed all false deps
+    assert raw2 == raw  # and preserved every true one
+    assert s_ren > s_plain * 2  # pipeline was stage-limited (4 stages)
+    assert (
+        ren.stats["dep_table"]["high_water"]
+        >= plain.stats["dep_table"]["high_water"]
+    )

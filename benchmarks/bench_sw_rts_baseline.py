@@ -1,0 +1,62 @@
+"""Motivation experiment (§I, after [10]): software RTS vs Nexus++.
+
+The Nexus line of work exists because "the StarSs RTS, when implemented in
+software, can be a bottleneck that limits the scalability of applications".
+This bench runs the same H.264 trace under a software-runtime cost model
+(microseconds of master time per task, CellSs-style) and under the Nexus++
+machine, reproducing the scalability gap that motivates the paper.
+"""
+
+from conftest import report
+
+from repro.analysis import plot_speedup_curves, render_table
+from repro.config import SystemConfig
+from repro.machine import run_trace
+from repro.runtime import SoftwareRTSConfig, run_software_rts
+
+CORES = [1, 4, 8, 16, 32, 64]
+
+
+def _experiment(trace):
+    rts = SoftwareRTSConfig()
+    sw_base = run_software_rts(trace, SystemConfig(workers=1), rts)
+    hw_base = run_trace(trace, SystemConfig(workers=1))
+    sw_curve, hw_curve = [], []
+    for cores in CORES:
+        cfg = SystemConfig(workers=cores)
+        sw = run_software_rts(trace, cfg, rts)
+        hw = run_trace(trace, cfg)
+        sw_curve.append((cores, sw.speedup_over(sw_base)))
+        hw_curve.append((cores, hw.speedup_over(hw_base)))
+    return sw_curve, hw_curve
+
+
+def test_software_rts_bottleneck(benchmark, h264_trace):
+    sw_curve, hw_curve = benchmark.pedantic(
+        _experiment, args=(h264_trace,), rounds=1, iterations=1
+    )
+    rows = [
+        [c, round(sw, 1), round(hw, 1), f"{hw / sw:.1f}x"]
+        for (c, sw), (_, hw) in zip(sw_curve, hw_curve)
+    ]
+    text = render_table(
+        ["cores", "software RTS speedup", "Nexus++ speedup", "advantage"],
+        rows,
+        "Software StarSs runtime vs Nexus++ — H.264 trace",
+    )
+    text += "\n\n" + plot_speedup_curves(
+        {"software RTS": sw_curve, "Nexus++": hw_curve},
+        title="Hardware task management removes the RTS bottleneck",
+    )
+    report("sw_rts_baseline", text)
+
+    sw = dict(sw_curve)
+    hw = dict(hw_curve)
+    # The software runtime flattens: per-task master cost (~4us) limits
+    # throughput to ~1/4us while tasks take ~19us -> cap near 5x.
+    assert sw[64] < 8
+    assert sw[64] < sw[16] * 1.6
+    # Nexus++ keeps scaling on the same workload (wavefront-limited, not
+    # runtime-limited).
+    assert hw[64] > sw[64] * 1.5
+    assert hw[16] > 11

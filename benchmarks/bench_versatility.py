@@ -1,0 +1,86 @@
+"""Versatility sweep (the paper's future work: 'make Nexus++ more versatile').
+
+Runs the extension workload suite — blocked Cholesky, blocked LU, Jacobi
+stencil, reduction tree, streaming pipeline — on the Table IV machine and
+reports speedup, bottleneck attribution and dummy-mechanism usage for
+each.  This is the breadth check that the dependence engine is not tuned
+to the paper's four traces.
+"""
+
+from conftest import report
+
+from repro.analysis import render_table
+from repro.config import SystemConfig
+from repro.machine import analyze_bottleneck, run_trace
+from repro.runtime.task_graph import build_task_graph
+from repro.traces import (
+    blocked_lu_trace,
+    cholesky_trace,
+    jacobi_stencil_trace,
+    pipeline_trace,
+    reduction_tree_trace,
+)
+
+WORKERS = 16
+
+
+def _experiment():
+    workloads = {
+        "cholesky 12x12": cholesky_trace(12),
+        "blocked-lu 8x8": blocked_lu_trace(8),
+        "jacobi 8x8x6": jacobi_stencil_trace(8, 6),
+        "reduction 256": reduction_tree_trace(256),
+        "pipeline 128x4": pipeline_trace(128, 4),
+    }
+    cfg = SystemConfig(workers=WORKERS)
+    out = {}
+    for name, trace in workloads.items():
+        graph = build_task_graph(trace)
+        base = run_trace(trace, cfg.with_(workers=1))
+        result = run_trace(trace, cfg)
+        problems = result.verify_against(graph)
+        out[name] = (trace, graph, base, result, problems, cfg)
+    return out
+
+
+def test_versatility_suite(benchmark):
+    out = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    rows = []
+    for name, (trace, graph, base, result, problems, cfg) in out.items():
+        speedup = result.speedup_over(base)
+        rows.append(
+            [
+                name,
+                len(trace),
+                round(graph.average_parallelism(), 1),
+                round(speedup, 1),
+                analyze_bottleneck(result, cfg).verdict,
+                result.stats["dep_table"]["max_kickoff_waiters"],
+                "ok" if not problems else "VIOLATIONS",
+            ]
+        )
+    text = render_table(
+        [
+            "workload",
+            "tasks",
+            "avg parallelism",
+            f"speedup@{WORKERS}",
+            "bottleneck",
+            "max kick-off",
+            "legality",
+        ],
+        rows,
+        "Extension workloads on the Table IV machine",
+    )
+    report("versatility", text)
+
+    for name, (trace, graph, base, result, problems, cfg) in out.items():
+        assert problems == [], f"{name}: {problems[:3]}"
+        speedup = result.speedup_over(base)
+        # Speedup is bounded by available parallelism and by the machine,
+        # and every workload must gain from 16 cores unless it is serial.
+        limit = min(WORKERS, graph.average_parallelism() * 1.6)
+        assert speedup <= WORKERS + 0.5
+        if graph.average_parallelism() > 2:
+            assert speedup > 1.5, f"{name} failed to scale at all"
+        assert speedup < limit * 1.5, f"{name} speedup {speedup} implausible"

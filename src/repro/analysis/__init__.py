@@ -1,0 +1,19 @@
+"""Analysis and reporting: metrics, ASCII tables and figure-shaped plots."""
+
+from .ascii_plot import plot_series, plot_speedup_curves
+from .gantt import gantt_chart, stage_latency_table
+from .metrics import PaperComparison, compare, comparison_row, efficiency
+from .tables import format_value, render_table
+
+__all__ = [
+    "plot_series",
+    "gantt_chart",
+    "stage_latency_table",
+    "plot_speedup_curves",
+    "render_table",
+    "format_value",
+    "efficiency",
+    "comparison_row",
+    "PaperComparison",
+    "compare",
+]

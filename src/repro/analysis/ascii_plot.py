@@ -1,0 +1,88 @@
+"""Terminal line plots: enough to eyeball the paper's figure shapes.
+
+Benchmarks regenerate each figure as one or more (x, y) series; these
+helpers draw them as ASCII so the shape (ramp, saturation, crossover) is
+visible straight in the pytest output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["plot_series", "plot_speedup_curves"]
+
+_MARKS = "ox+*#@%&"
+
+
+def plot_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot named (x, y) series on one canvas; one marker per series."""
+    if not series:
+        raise ValueError("nothing to plot")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), mark in zip(series.items(), _MARKS):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{mark}={name}" for (name, _), mark in zip(series.items(), _MARKS)
+    )
+    lines.append(legend)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    pad = max(len(top_label), len(bottom_label), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    lines.append(f"{' ' * pad} +{'-' * width}")
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}"
+    lines.append(f"{' ' * pad}  {x_axis}  {xlabel}")
+    return "\n".join(lines)
+
+
+def plot_speedup_curves(
+    curves: Dict[str, Sequence[Tuple[int, float]]],
+    title: str = "Speedup vs worker cores",
+) -> str:
+    """Figure-7/8 style: speedup against core count, log-ish x via index."""
+    # Use the rank of each core count as x so 1..512 doesn't squash the left.
+    all_cores = sorted({c for pts in curves.values() for c, _ in pts})
+    rank = {c: i for i, c in enumerate(all_cores)}
+    series = {
+        name: [(float(rank[c]), s) for c, s in pts] for name, pts in curves.items()
+    }
+    plot = plot_series(
+        series,
+        title=title,
+        xlabel=f"cores {all_cores}",
+        ylabel="speedup",
+    )
+    return plot

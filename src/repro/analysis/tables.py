@@ -1,0 +1,46 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human formatting: floats get 4 significant digits, rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table (right-aligned numeric columns)."""
+    str_rows: List[List[str]] = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``     print the machine configuration (the paper's Table IV)
+``run``      simulate one workload on one machine and report the results
+``sweep``    speedup-vs-cores curve for a workload (Fig. 7/8 style)
+``workloads``list the available workload generators
+``validate`` check a saved trace file for well-formedness and graph stats
+
+Examples::
+
+    python -m repro info --workers 64
+    python -m repro run h264 --workers 16
+    python -m repro run gaussian --size 100 --workers 8 --no-contention
+    python -m repro sweep independent --cores 1,4,16,64
+    python -m repro run cholesky --tiles 6 --workers 8 --bottleneck
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .analysis import render_table
+from .config import SystemConfig
+from .machine import analyze_bottleneck, run_trace, speedup_curve
+from .runtime.task_graph import build_task_graph
+from .traces import (
+    TaskTrace,
+    blocked_lu_trace,
+    cholesky_trace,
+    gaussian_trace,
+    h264_wavefront_trace,
+    horizontal_chains_trace,
+    independent_trace,
+    jacobi_stencil_trace,
+    pipeline_trace,
+    reduction_tree_trace,
+    vertical_chains_trace,
+)
+
+__all__ = ["main", "build_workload", "WORKLOADS"]
+
+#: name -> (builder, description).  Builders accept the parsed namespace.
+WORKLOADS: Dict[str, tuple[Callable[[argparse.Namespace], TaskTrace], str]] = {
+    "h264": (
+        lambda a: h264_wavefront_trace(),
+        "H.264 macroblock wavefront, 120x68 (Fig. 4a)",
+    ),
+    "independent": (
+        lambda a: independent_trace(n_tasks=a.tasks or 8160),
+        "independent tasks (headline benchmark)",
+    ),
+    "horizontal": (
+        lambda a: horizontal_chains_trace(),
+        "horizontal chains (Fig. 4b)",
+    ),
+    "vertical": (
+        lambda a: vertical_chains_trace(),
+        "vertical chains (Fig. 4c)",
+    ),
+    "gaussian": (
+        lambda a: gaussian_trace(a.size or 100),
+        "Gaussian elimination with partial pivoting (Fig. 5; --size)",
+    ),
+    "cholesky": (
+        lambda a: cholesky_trace(a.tiles or 8),
+        "blocked Cholesky factorisation (--tiles)",
+    ),
+    "blocked-lu": (
+        lambda a: blocked_lu_trace(a.tiles or 6),
+        "blocked LU factorisation (--tiles)",
+    ),
+    "jacobi": (
+        lambda a: jacobi_stencil_trace(a.grid or 8, a.iterations or 4),
+        "2D Jacobi stencil (--grid, --iterations)",
+    ),
+    "reduction": (
+        lambda a: reduction_tree_trace(a.leaves or 64),
+        "binary reduction tree (--leaves, power of two)",
+    ),
+    "pipeline": (
+        lambda a: pipeline_trace(a.items or 64, a.stages or 4),
+        "streaming pipeline (--items, --stages)",
+    ),
+}
+
+
+def build_workload(name: str, args: argparse.Namespace) -> TaskTrace:
+    try:
+        builder, _ = WORKLOADS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; try: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+    return builder(args)
+
+
+def _config_from(args: argparse.Namespace) -> SystemConfig:
+    overrides = {"workers": args.workers}
+    if getattr(args, "no_contention", False):
+        overrides["memory_contention"] = False
+    if getattr(args, "depth", None):
+        overrides["buffering_depth"] = args.depth
+    if getattr(args, "restricted", False):
+        overrides["restricted"] = True
+    return SystemConfig(**overrides)
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("workload", choices=sorted(WORKLOADS), help="workload name")
+    p.add_argument("--tasks", type=int, help="task count (independent)")
+    p.add_argument("--size", type=int, help="matrix dimension (gaussian)")
+    p.add_argument("--tiles", type=int, help="tile grid side (cholesky/blocked-lu)")
+    p.add_argument("--grid", type=int, help="block grid side (jacobi)")
+    p.add_argument("--iterations", type=int, help="iterations (jacobi)")
+    p.add_argument("--leaves", type=int, help="leaves (reduction)")
+    p.add_argument("--items", type=int, help="items (pipeline)")
+    p.add_argument("--stages", type=int, help="stages (pipeline)")
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=16, help="worker cores")
+    p.add_argument("--no-contention", action="store_true", help="contention-free memory")
+    p.add_argument("--depth", type=int, help="Task Controller buffering depth")
+    p.add_argument("--restricted", action="store_true", help="original-Nexus limits")
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    cfg = _config_from(args)
+    print(render_table(["parameter", "value"], cfg.table_iv(), "System configuration"))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [[name, desc] for name, (_, desc) in sorted(WORKLOADS.items())]
+    print(render_table(["name", "description"], rows, "Available workloads"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = build_workload(args.workload, args)
+    cfg = _config_from(args)
+    print(trace.describe())
+    result = run_trace(trace, cfg)
+    print(result.summary())
+    if args.verify:
+        graph = build_task_graph(trace)
+        problems = result.verify_against(graph)
+        if problems:
+            print("DEPENDENCE VIOLATIONS:")
+            for p in problems[:10]:
+                print(" ", p)
+            return 1
+        print(f"dependence check: OK ({graph.n_edges} edges)")
+    if args.bottleneck:
+        print(analyze_bottleneck(result, cfg).describe())
+    dep = result.stats["dep_table"]
+    print(
+        f"dummy tasks {result.stats['task_pool']['dummy_tasks_created']}, "
+        f"dummy entries {dep['dummy_entries_created']}, "
+        f"longest kick-off list {dep['max_kickoff_waiters']}"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    trace = build_workload(args.workload, args)
+    cfg = _config_from(args)
+    cores = [int(c) for c in args.cores.split(",")]
+    curve = speedup_curve(trace, cores, cfg)
+    rows = [[c, round(s, 2), f"{s / c:.2f}"] for c, s in curve.rows()]
+    print(render_table(["cores", "speedup", "efficiency"], rows, trace.name))
+    print(f"saturation point: ~{curve.saturation_point()} cores")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .traces.validate import lint_trace
+
+    trace = TaskTrace.load(args.path)
+    print(trace.describe())
+    graph = build_task_graph(trace)
+    print(
+        f"edges {graph.n_edges}, roots {len(graph.roots())}, "
+        f"critical path {graph.critical_path() / 1e6:.3g} us, "
+        f"max parallelism {graph.max_parallelism()}"
+    )
+    report = lint_trace(trace)
+    print(report.summary())
+    for err in report.errors:
+        print(f"  error: {err}")
+    for warn in report.warnings:
+        print(f"  warning: {warn}")
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nexus++ reproduction: simulate StarSs workloads on a "
+        "hardware task manager",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print the Table IV configuration")
+    _add_machine_args(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_wl = sub.add_parser("workloads", help="list workload generators")
+    p_wl.set_defaults(func=_cmd_workloads)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    _add_workload_args(p_run)
+    _add_machine_args(p_run)
+    p_run.add_argument("--verify", action="store_true", help="check schedule legality")
+    p_run.add_argument("--bottleneck", action="store_true", help="attribute the bottleneck")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="speedup curve over core counts")
+    _add_workload_args(p_sweep)
+    _add_machine_args(p_sweep)
+    p_sweep.add_argument("--cores", default="1,2,4,8,16", help="comma-separated core counts")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_val = sub.add_parser("validate", help="inspect a saved .npz trace")
+    p_val.add_argument("path")
+    p_val.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

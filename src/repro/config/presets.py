@@ -1,0 +1,48 @@
+"""Named configurations matching the paper's experimental setups."""
+
+from __future__ import annotations
+
+from .system_config import SystemConfig
+
+__all__ = [
+    "paper_default",
+    "contention_free",
+    "no_prep_delay",
+    "nexus_restricted",
+    "fast_functional",
+]
+
+
+def paper_default(workers: int = 16, **overrides) -> SystemConfig:
+    """Table IV configuration: double buffering, memory contention modeled."""
+    return SystemConfig(workers=workers, **overrides)
+
+
+def contention_free(workers: int = 256, **overrides) -> SystemConfig:
+    """The paper's contention-free memory experiments (143x headline)."""
+    return SystemConfig(workers=workers, memory_contention=False, **overrides)
+
+
+def no_prep_delay(workers: int = 256, **overrides) -> SystemConfig:
+    """Contention-free *and* zero task-preparation delay (221x headline)."""
+    return SystemConfig(
+        workers=workers, memory_contention=False, task_prep_time=0, **overrides
+    )
+
+
+def nexus_restricted(workers: int = 16, **overrides) -> SystemConfig:
+    """Original-Nexus limitations: no dummy tasks/entries, no double buffering.
+
+    Tasks with more than ``max_params_per_td`` parameters, or dependency
+    patterns needing more than ``kickoff_list_size`` waiters on one address,
+    raise :class:`repro.hw.errors.CapacityError` — the paper's argument for
+    why e.g. Gaussian elimination "could not be executed by Nexus".
+    """
+    overrides.setdefault("buffering_depth", 1)
+    return SystemConfig(workers=workers, restricted=True, **overrides)
+
+
+def fast_functional(workers: int = 4, **overrides) -> SystemConfig:
+    """Small, quick configuration for functional tests (not timing studies)."""
+    overrides.setdefault("memory_batch_chunks", 8)
+    return SystemConfig(workers=workers, **overrides)

@@ -1,0 +1,248 @@
+"""System configuration: every Table IV parameter, plus model switches.
+
+The paper's "Task Machine" is fully configurable (number of cores, clock
+frequencies, on-/off-chip access times, table geometries, FIFO sizes...);
+:class:`SystemConfig` is the equivalent single source of truth here.  All
+times are integer picoseconds, all sizes are entry counts (the byte sizes
+quoted in Table IV are derived properties so the README can echo the same
+table the paper prints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..sim.time_units import NS
+
+__all__ = ["SystemConfig", "BUS_MODEL_FORMULA", "BUS_MODEL_FITTED"]
+
+#: Submission cost model exactly as §IV prose: 5-cycle handshake plus
+#: 2 cycles per 8-byte word, one word for (ID, function pointer) plus one
+#: word per parameter.
+BUS_MODEL_FORMULA = "formula"
+#: Submission cost fitted to the paper's worked examples (10 cycles for a
+#: 4-parameter task, 14 cycles for 8 parameters): ``6 + nP`` cycles.  The
+#: prose formula gives 15/23 cycles for the same examples; the paper is
+#: internally inconsistent, so both models are provided.
+BUS_MODEL_FITTED = "fitted"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete parameter set for a Nexus++ machine simulation.
+
+    Defaults reproduce Table IV of the paper.
+    """
+
+    # ---- machine shape ---------------------------------------------------------
+    #: Number of worker cores (the master core is extra, as in Fig. 1).
+    workers: int = 16
+    #: Per-worker Task Controller buffering depth; 2 = double buffering.
+    #: Table IV sizes the CxRdyTasks/CxFinTasks lists at 4 bytes = two 2-byte
+    #: task IDs, i.e. depth 2.
+    buffering_depth: int = 2
+
+    # ---- clocks ----------------------------------------------------------------
+    #: Worker/master core clock (2 GHz in Table IV).
+    core_clock_hz: int = 2_000_000_000
+    #: Nexus++ clock (500 MHz in Table IV; cycle time 2 ns).
+    nexus_clock_hz: int = 500_000_000
+
+    # ---- on-chip storage -------------------------------------------------------
+    #: On-chip table access time (CACTI figure for the ~100 KB structures).
+    on_chip_access_time: int = 2 * NS
+    #: Task Pool capacity in Task Descriptors (1K in Table IV).
+    task_pool_entries: int = 1024
+    #: Parameters (inputs/outputs) a single Task Descriptor can hold.
+    max_params_per_td: int = 8
+    #: Task Descriptor size in bytes (for the derived 78 KB figure only).
+    td_bytes: int = 78
+    #: Dependence Table entries (4K in Table IV).
+    dependence_table_entries: int = 4096
+    #: Dependence Table entry size in bytes (28 B; derived 112 KB total).
+    dt_entry_bytes: int = 28
+    #: Kick-Off List slots per Dependence Table entry.
+    kickoff_list_size: int = 8
+
+    # ---- FIFO lists (entry counts; Table IV gives the byte sizes) ---------------
+    #: TDs Sizes list: 1 KB of 1-byte sizes -> 1024 entries.  Governs how many
+    #: submitted-but-unstored TDs may queue before the master stalls.
+    tds_sizes_list_entries: int = 1024
+    #: New Tasks list: 2 KB of 2-byte task IDs.
+    new_tasks_list_entries: int = 1024
+    #: TP Free Indices list: one slot per Task Pool entry.
+    tp_free_list_entries: int = 1024
+    #: Global Ready Tasks list: 2 KB of 2-byte task IDs.
+    global_ready_list_entries: int = 1024
+    #: Worker Cores IDs list: 2 KB of 2-byte core IDs.
+    worker_ids_list_entries: int = 1024
+
+    # ---- master core / on-chip bus ----------------------------------------------
+    #: Task Descriptor preparation time on the master core (30 ns, §IV).
+    task_prep_time: int = 30 * NS
+    #: Handshaking delay before each submission, in Nexus cycles.
+    bus_handshake_cycles: int = 5
+    #: Bus transfer cost per 8-byte word, in Nexus cycles (2 GB/s bus).
+    bus_word_cycles: int = 2
+    #: Which submission-cost model to use (see module constants).
+    bus_model: str = BUS_MODEL_FORMULA
+
+    # ---- off-chip memory ----------------------------------------------------------
+    #: Off-chip access time per chunk (12 ns per 128 B, CACTI).
+    off_chip_access_time: int = 12 * NS
+    #: Chunk size the off-chip access time refers to.
+    memory_chunk_bytes: int = 128
+    #: Number of single-ported memory banks; at most this many concurrent
+    #: accessors ("no more than 32 tasks can access the memory at a given time").
+    memory_banks: int = 32
+    #: Whether to model memory contention at all (False = contention-free runs).
+    memory_contention: bool = True
+    #: Chunks transferred per bank acquisition.  1 reproduces pure per-chunk
+    #: interleaving; larger batches trade arbitration granularity for
+    #: simulation speed (batch duration stays far below task durations).
+    memory_batch_chunks: int = 64
+
+    # ---- model switches -------------------------------------------------------------
+    #: Nexus (non-plus-plus) compatibility mode: refuse tasks with more than
+    #: ``max_params_per_td`` parameters and more than ``kickoff_list_size``
+    #: waiters per address instead of spilling to dummy tasks/entries.
+    restricted: bool = False
+    #: Worker peak FLOP rate, used by workloads specified in FLOPs (Gaussian
+    #: elimination: 2 GFLOPS per core, §V).
+    core_gflops: float = 2.0
+    #: Free-form provenance notes carried into result reports.
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    # ---- validation ------------------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        positive = [
+            ("workers", self.workers),
+            ("buffering_depth", self.buffering_depth),
+            ("core_clock_hz", self.core_clock_hz),
+            ("nexus_clock_hz", self.nexus_clock_hz),
+            ("on_chip_access_time", self.on_chip_access_time),
+            ("task_pool_entries", self.task_pool_entries),
+            ("max_params_per_td", self.max_params_per_td),
+            ("dependence_table_entries", self.dependence_table_entries),
+            ("kickoff_list_size", self.kickoff_list_size),
+            ("tds_sizes_list_entries", self.tds_sizes_list_entries),
+            ("new_tasks_list_entries", self.new_tasks_list_entries),
+            ("tp_free_list_entries", self.tp_free_list_entries),
+            ("global_ready_list_entries", self.global_ready_list_entries),
+            ("worker_ids_list_entries", self.worker_ids_list_entries),
+            ("off_chip_access_time", self.off_chip_access_time),
+            ("memory_chunk_bytes", self.memory_chunk_bytes),
+            ("memory_banks", self.memory_banks),
+            ("memory_batch_chunks", self.memory_batch_chunks),
+        ]
+        for name, value in positive:
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.task_prep_time < 0:
+            raise ValueError("task_prep_time must be >= 0")
+        if self.bus_handshake_cycles < 0 or self.bus_word_cycles < 0:
+            raise ValueError("bus cycle counts must be >= 0")
+        if self.bus_model not in (BUS_MODEL_FORMULA, BUS_MODEL_FITTED):
+            raise ValueError(f"unknown bus_model {self.bus_model!r}")
+        if self.max_params_per_td < 2:
+            # A dummy chain needs at least one payload slot plus the pointer.
+            raise ValueError("max_params_per_td must be >= 2")
+        if self.kickoff_list_size < 2:
+            raise ValueError("kickoff_list_size must be >= 2")
+        if self.tp_free_list_entries < self.task_pool_entries:
+            raise ValueError(
+                "TP Free Indices list must hold every Task Pool index "
+                f"({self.tp_free_list_entries} < {self.task_pool_entries})"
+            )
+        if self.core_gflops <= 0:
+            raise ValueError("core_gflops must be positive")
+
+    # ---- derived quantities -----------------------------------------------------------
+
+    @property
+    def nexus_cycle(self) -> int:
+        """Nexus++ clock cycle time in picoseconds (2 ns at 500 MHz)."""
+        return round(1e12 / self.nexus_clock_hz)
+
+    @property
+    def core_cycle(self) -> int:
+        """Worker core clock cycle time in picoseconds."""
+        return round(1e12 / self.core_clock_hz)
+
+    @property
+    def task_pool_bytes(self) -> int:
+        """Task Pool storage (Table IV: 78 KB for 1K TDs)."""
+        return self.task_pool_entries * self.td_bytes
+
+    @property
+    def dependence_table_bytes(self) -> int:
+        """Dependence Table storage (Table IV: 112 KB for 4K entries)."""
+        return self.dependence_table_entries * self.dt_entry_bytes
+
+    @property
+    def memory_bandwidth_bytes_per_s(self) -> float:
+        """Per-accessor off-chip bandwidth (128 B / 12 ns = 10.67 GB/s)."""
+        return self.memory_chunk_bytes / (self.off_chip_access_time * 1e-12)
+
+    def submission_time(self, n_params: int) -> int:
+        """Master-to-Maestro submission delay for a task with ``n_params``.
+
+        ``formula`` follows §IV prose: handshake + 2 cycles per word with
+        one leading word for ID/function pointer.  ``fitted`` matches the
+        paper's worked examples (10 cycles @ 4 params, 14 @ 8).
+        """
+        if self.bus_model == BUS_MODEL_FITTED:
+            cycles = 6 + n_params
+        else:
+            cycles = self.bus_handshake_cycles + self.bus_word_cycles * (1 + n_params)
+        return cycles * self.nexus_cycle
+
+    def td_transfer_time(self, n_params: int) -> int:
+        """Maestro-to-Task-Controller TD transfer delay (same bus geometry)."""
+        cycles = self.bus_handshake_cycles + self.bus_word_cycles * (1 + n_params)
+        return cycles * self.nexus_cycle
+
+    def exec_time_for_flops(self, flops: float) -> int:
+        """Execution time of a task of ``flops`` on one worker core (ps)."""
+        return max(1, round(flops / self.core_gflops * 1_000))  # flops/GFLOPS -> ns -> ps
+
+    def memory_time_for_bytes(self, n_bytes: int) -> int:
+        """Uncontended off-chip transfer time for ``n_bytes`` (whole chunks)."""
+        if n_bytes <= 0:
+            return 0
+        chunks = -(-n_bytes // self.memory_chunk_bytes)
+        return chunks * self.off_chip_access_time
+
+    # ---- convenience ------------------------------------------------------------------
+
+    def with_(self, **changes: Any) -> "SystemConfig":
+        """Return a copy with the given fields replaced (frozen dataclass)."""
+        return replace(self, **changes)
+
+    def table_iv(self) -> list[tuple[str, str]]:
+        """Render the configuration as the paper's Table IV rows."""
+        return [
+            ("Cores clock freq.", f"{self.core_clock_hz / 1e9:g} GHz"),
+            ("Nexus++ clock freq.", f"{self.nexus_clock_hz / 1e6:g} MHz"),
+            ("On Chip Access Time", f"{self.on_chip_access_time / NS:g}ns"),
+            ("Off Chip Access Time", f"{self.off_chip_access_time / NS:g}ns"),
+            ("On chip bus bandwidth", "2 GB/s"),
+            ("Memory bandwidth", f"{self.memory_bandwidth_bytes_per_s / 2**30:.2f} GB/s"),
+            ("Task Descriptor (TD) size", f"{self.td_bytes} Byte"),
+            (
+                "Task Pool size",
+                f"{self.task_pool_bytes // 1024} KB ({self.task_pool_entries} TDs)",
+            ),
+            ("No. Parameters per TD", str(self.max_params_per_td)),
+            ("Dependence Table entry size", f"{self.dt_entry_bytes} Byte"),
+            (
+                "Dependence Table size",
+                f"{self.dependence_table_bytes // 1024} KB "
+                f"({self.dependence_table_entries} entries)",
+            ),
+            ("Kick-Off list size", f"{self.kickoff_list_size} task IDs"),
+            ("Workers", str(self.workers)),
+            ("Buffering depth", str(self.buffering_depth)),
+        ]

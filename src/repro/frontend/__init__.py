@@ -1,0 +1,5 @@
+"""StarSs-like programming frontend (the pragma layer of Listing 1)."""
+
+from .program import RecordedTask, StarSsProgram, TaskSpec
+
+__all__ = ["StarSsProgram", "RecordedTask", "TaskSpec"]

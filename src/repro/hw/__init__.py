@@ -1,0 +1,41 @@
+"""Nexus++ hardware model: tables, Maestro blocks, Task Controllers.
+
+The pure data structures (:class:`TaskPool`, :class:`DependenceTable`) are
+simulation-free and unit-testable; the active components
+(:class:`TaskMaestro`, :class:`TaskController`, :class:`MasterCore`) are
+bundles of discrete-event processes wired through a shared :class:`Fabric`.
+"""
+
+from .dependence_table import (
+    DependenceTable,
+    DTEntry,
+    Waiter,
+    default_hash,
+    kickoff_entries_needed,
+)
+from .errors import CapacityError, HardwareError, ProtocolError
+from .fabric import Fabric
+from .master import MasterCore
+from .maestro import TaskMaestro
+from .memory import MemorySystem
+from .task_controller import TaskController
+from .task_pool import TaskPool, TPEntry, entries_needed
+
+__all__ = [
+    "TaskPool",
+    "TPEntry",
+    "entries_needed",
+    "DependenceTable",
+    "DTEntry",
+    "Waiter",
+    "default_hash",
+    "kickoff_entries_needed",
+    "MemorySystem",
+    "Fabric",
+    "TaskMaestro",
+    "TaskController",
+    "MasterCore",
+    "CapacityError",
+    "HardwareError",
+    "ProtocolError",
+]

@@ -1,0 +1,354 @@
+"""The Dependence Table: Nexus++'s dependence-tracking hash table (Table III).
+
+Each *valid* entry describes one memory segment currently accessed by
+in-flight tasks: hash/full address, size, access mode (``isOut``), reader
+count (``Rdrs``), writer-waits flag (``ww``), hash-chain links and a
+**Kick-Off List** of task IDs waiting for the segment.  A Kick-Off List
+that outgrows its 8 slots spills into **dummy entries** — additional table
+slots chained behind the parent (``h_D``/``l_D`` columns), which is how
+Nexus++ supports dependency patterns like Gaussian elimination where the
+fan-out of one output grows with the problem size (§III-C).
+
+Modelling notes
+---------------
+* The hash chain is modelled logically (per-bucket lists) rather than with
+  physical ``n_i``/``p_i`` slot links; probe counts, per-access costs, chain
+  lengths and total slot capacity are all preserved, which is everything the
+  paper's timing and Fig. 6 statistics depend on.
+* Parent promotion on Kick-Off drain is modelled by freeing one physical
+  slot per drained list segment (the paper frees the old parent slot and
+  promotes the first dummy; we free the dummy slot — capacity and access
+  counts are identical, only the physical slot identity differs).
+* Like :mod:`repro.hw.task_pool`, this module is simulation-time free: each
+  operation returns its access count so the Maestro block that invoked it
+  can charge ``accesses * on_chip_access_time``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .errors import CapacityError, ProtocolError
+
+__all__ = ["DependenceTable", "DTEntry", "Waiter", "default_hash", "kickoff_entries_needed"]
+
+
+def default_hash(addr: int, n_entries: int) -> int:
+    """Multiplicative hash over the address's block bits (Knuth constant).
+
+    The bucket comes from the *high* bits of the 32-bit product (Lemire
+    range reduction) — the low bits of a multiplicative hash correlate with
+    the input and produce long chains for strided address patterns.
+    """
+    return (((addr >> 6) * 2654435761 & 0xFFFFFFFF) * n_entries) >> 32
+
+
+def kickoff_entries_needed(n_waiters: int, kickoff_size: int) -> int:
+    """Physical table entries a Kick-Off List of ``n_waiters`` spans.
+
+    The parent holds the first ``kickoff_size`` waiters; once a
+    continuation exists, every non-tail entry gives one slot to the
+    pointer, so capacity(e entries) = e*K - e + 1.
+    """
+    if n_waiters <= kickoff_size:
+        return 1
+    extra = n_waiters - kickoff_size
+    return 1 + -(-extra // (kickoff_size - 1))
+
+
+@dataclass(frozen=True)
+class Waiter:
+    """A Kick-Off List slot: the waiting task and its access intent."""
+
+    tid: int
+    writes: bool
+
+
+@dataclass
+class DTEntry:
+    """One memory segment's dependence state (a row of Table III)."""
+
+    addr: int
+    size: int
+    #: True while a writer owns the segment (``isOut``).
+    is_out: bool = False
+    #: Number of tasks currently reading the segment (``Rdrs``).
+    readers: int = 0
+    #: True when a writer is queued behind active readers (``ww``).
+    writer_waits: bool = False
+    #: Waiting tasks in arrival order (spans parent + dummy entries).
+    kick: Deque[Waiter] = field(default_factory=deque)
+    #: Physical entries currently allocated to the Kick-Off List (>= 1).
+    phys_entries: int = 1
+
+
+class DependenceTable:
+    """Fixed-capacity dependence-tracking table with Kick-Off spilling."""
+
+    def __init__(
+        self,
+        n_entries: int,
+        kickoff_size: int,
+        restricted: bool = False,
+        hash_fn: Optional[Callable[[int, int], int]] = None,
+    ):
+        if n_entries < 1:
+            raise ValueError("Dependence Table needs at least one entry")
+        if kickoff_size < 2:
+            raise ValueError("Kick-Off List needs at least two slots")
+        self.capacity = n_entries
+        self.kickoff_size = kickoff_size
+        self.restricted = restricted
+        self._hash = hash_fn or default_hash
+        self._table: Dict[int, DTEntry] = {}
+        self._buckets: Dict[int, List[int]] = {}
+        #: Physical slots in use (address entries + Kick-Off dummies).
+        self.occupied = 0
+        # ---- statistics used by Fig. 6 and the benches -----------------------
+        self.high_water = 0
+        self.max_hash_chain = 0
+        self.max_kickoff_entries = 1
+        self.max_kickoff_waiters = 0
+        self.dummy_entries_created = 0
+        self.total_probes = 0
+        self.total_lookups = 0
+
+    # ---- capacity --------------------------------------------------------------
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self.occupied
+
+    @property
+    def is_empty(self) -> bool:
+        return self.occupied == 0
+
+    @property
+    def live_addresses(self) -> int:
+        return len(self._table)
+
+    def _take_slots(self, n: int) -> None:
+        if self.free_slots < n:
+            raise ProtocolError(
+                f"Dependence Table overflow: need {n} slots, {self.free_slots} free "
+                "(caller must stall until Handle Finished frees entries)"
+            )
+        self.occupied += n
+        if self.occupied > self.high_water:
+            self.high_water = self.occupied
+
+    def _release_slots(self, n: int) -> None:
+        if n > self.occupied:
+            raise ProtocolError("Dependence Table slot accounting underflow")
+        self.occupied -= n
+
+    # ---- hashing ----------------------------------------------------------------
+
+    def _lookup(self, addr: int) -> Tuple[Optional[DTEntry], int]:
+        """Find the entry for ``addr``; returns (entry-or-None, probes)."""
+        bucket = self._buckets.get(self._hash(addr, self.capacity))
+        self.total_lookups += 1
+        if not bucket:
+            self.total_probes += 1
+            return None, 1
+        try:
+            probes = bucket.index(addr) + 1
+            entry: Optional[DTEntry] = self._table[addr]
+        except ValueError:
+            probes = len(bucket) + 1
+            entry = None
+        self.total_probes += probes
+        return entry, probes
+
+    def _insert(self, addr: int, size: int) -> DTEntry:
+        self._take_slots(1)
+        entry = DTEntry(addr=addr, size=size)
+        self._table[addr] = entry
+        bucket = self._buckets.setdefault(self._hash(addr, self.capacity), [])
+        bucket.append(addr)
+        if len(bucket) > self.max_hash_chain:
+            self.max_hash_chain = len(bucket)
+        return entry
+
+    def _delete(self, entry: DTEntry) -> None:
+        if entry.kick or entry.readers or entry.writer_waits:
+            raise ProtocolError(f"deleting live entry for {entry.addr:#x}")
+        self._buckets[self._hash(entry.addr, self.capacity)].remove(entry.addr)
+        del self._table[entry.addr]
+        self._release_slots(entry.phys_entries)
+
+    # ---- Kick-Off List management -------------------------------------------------
+
+    def _append_waiter(self, entry: DTEntry, waiter: Waiter) -> int:
+        """Queue a waiter, spilling to a dummy entry if needed.
+
+        Returns extra accesses performed (dummy allocation/link writes).
+        """
+        needed = kickoff_entries_needed(len(entry.kick) + 1, self.kickoff_size)
+        extra_accesses = 0
+        if needed > entry.phys_entries:
+            if self.restricted:
+                raise CapacityError(
+                    f"Kick-Off List for {entry.addr:#x} overflows its "
+                    f"{self.kickoff_size} slots and dummy entries are "
+                    "disabled (Nexus restricted mode)"
+                )
+            self._take_slots(1)
+            entry.phys_entries += 1
+            self.dummy_entries_created += 1
+            # Write the new dummy and patch the parent's l_D pointer.
+            extra_accesses = 2
+            if entry.phys_entries > self.max_kickoff_entries:
+                self.max_kickoff_entries = entry.phys_entries
+        entry.kick.append(waiter)
+        if len(entry.kick) > self.max_kickoff_waiters:
+            self.max_kickoff_waiters = len(entry.kick)
+        return extra_accesses
+
+    def _pop_waiter(self, entry: DTEntry) -> Tuple[Waiter, int]:
+        """Dequeue the head waiter; frees a drained head segment.
+
+        Returns ``(waiter, extra_accesses)`` — parent promotion costs one
+        read plus one write when a physical segment empties.
+        """
+        waiter = entry.kick.popleft()
+        needed = kickoff_entries_needed(max(len(entry.kick), 1), self.kickoff_size)
+        extra_accesses = 0
+        if needed < entry.phys_entries:
+            # The drained segment's slot is recycled (parent promotion).
+            self._release_slots(entry.phys_entries - needed)
+            entry.phys_entries = needed
+            extra_accesses = 2
+        return waiter, extra_accesses
+
+    # ---- the Check Deps operation (Listing 2) ----------------------------------------
+
+    def check_param(
+        self, tid: int, addr: int, size: int, reads: bool, writes: bool
+    ) -> Tuple[bool, int]:
+        """Process one parameter of a newly submitted task.
+
+        Returns ``(blocked, accesses)``: *blocked* means the task was added
+        to the segment's Kick-Off List and its Dependence Counter must be
+        incremented.  May require one free slot; callers stall until
+        :attr:`free_slots` is nonzero before invoking (the hardware's
+        Check Deps block waits on Handle Finished in the same situation).
+        """
+        if not (reads or writes):
+            raise ProtocolError(f"task {tid}: parameter with no direction")
+        entry, probes = self._lookup(addr)
+        accesses = probes
+        if entry is None:
+            entry = self._insert(addr, size)
+            accesses += 1
+            if reads and not writes:
+                entry.readers = 1
+            else:
+                entry.is_out = True
+            return False, accesses
+        if reads and not writes:
+            if not entry.is_out and not entry.writer_waits:
+                entry.readers += 1
+                return False, accesses + 1
+            accesses += 1 + self._append_waiter(entry, Waiter(tid, writes=False))
+            return True, accesses
+        # Writer (out or inout): always queues behind the current accessors.
+        accesses += 1 + self._append_waiter(entry, Waiter(tid, writes=True))
+        if not entry.is_out:
+            entry.writer_waits = True
+        return True, accesses
+
+    # ---- the Handle Finished operation -------------------------------------------------
+
+    def finish_param(
+        self, tid: int, addr: int, reads: bool, writes: bool
+    ) -> Tuple[List[int], int]:
+        """Process one parameter of a completed task.
+
+        Returns ``(granted_tids, accesses)``: tasks released from the
+        Kick-Off List; the caller decrements each one's Dependence Counter
+        in the Task Pool.
+        """
+        entry, probes = self._lookup(addr)
+        accesses = probes
+        if entry is None:
+            raise ProtocolError(f"task {tid} finished unknown segment {addr:#x}")
+        granted: List[int] = []
+        if reads and not writes:
+            if entry.readers <= 0:
+                raise ProtocolError(f"reader underflow on {addr:#x}")
+            entry.readers -= 1
+            accesses += 1
+            if entry.readers == 0:
+                if not entry.writer_waits:
+                    if entry.kick:
+                        raise ProtocolError(
+                            f"{addr:#x}: waiters present but no writer waits"
+                        )
+                    self._delete(entry)
+                    accesses += 1
+                else:
+                    # Grant the queued writer (the ww case of Table III).
+                    waiter, extra = self._pop_waiter(entry)
+                    accesses += 1 + extra
+                    if not waiter.writes:
+                        raise ProtocolError(f"{addr:#x}: ww set but head is a reader")
+                    entry.is_out = True
+                    entry.writer_waits = False
+                    granted.append(waiter.tid)
+            return granted, accesses
+        # A writer (out/inout) finished.
+        if not entry.is_out:
+            raise ProtocolError(f"{addr:#x}: writer finished but isOut is clear")
+        if entry.readers:
+            raise ProtocolError(f"{addr:#x}: writer active alongside readers")
+        if not entry.kick:
+            self._delete(entry)
+            return granted, accesses + 1
+        head = entry.kick[0]
+        if head.writes:
+            # WAW chain: hand the segment to the next writer directly.
+            waiter, extra = self._pop_waiter(entry)
+            accesses += 1 + extra
+            granted.append(waiter.tid)
+            return granted, accesses
+        # Grant every reader up to the next queued writer.
+        entry.is_out = False
+        while entry.kick and not entry.kick[0].writes:
+            waiter, extra = self._pop_waiter(entry)
+            accesses += 1 + extra
+            entry.readers += 1
+            granted.append(waiter.tid)
+        entry.writer_waits = bool(entry.kick)
+        accesses += 1
+        return granted, accesses
+
+    # ---- diagnostics -----------------------------------------------------------------------
+
+    def entry_for(self, addr: int) -> Optional[DTEntry]:
+        """Direct entry access for tests/diagnostics (no cost accounting)."""
+        return self._table.get(addr)
+
+    def mean_probes(self) -> float:
+        """Average hash probes per lookup over the whole run."""
+        return self.total_probes / self.total_lookups if self.total_lookups else 0.0
+
+    def stats(self) -> dict:
+        """Summary counters for result reports (Fig. 6 statistics)."""
+        return {
+            "occupied": self.occupied,
+            "high_water": self.high_water,
+            "max_hash_chain": self.max_hash_chain,
+            "max_kickoff_entries": self.max_kickoff_entries,
+            "max_kickoff_waiters": self.max_kickoff_waiters,
+            "dummy_entries_created": self.dummy_entries_created,
+            "mean_probes": self.mean_probes(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<DependenceTable {self.occupied}/{self.capacity} "
+            f"addrs={len(self._table)} high-water={self.high_water}>"
+        )

@@ -1,0 +1,23 @@
+"""Hardware-model errors."""
+
+from __future__ import annotations
+
+
+class HardwareError(Exception):
+    """Base class for Nexus++ hardware model errors."""
+
+
+class CapacityError(HardwareError):
+    """A fixed hardware structure overflowed and spilling is disabled.
+
+    Raised in *restricted* (original-Nexus) mode when a task has more
+    inputs/outputs than a Task Descriptor can hold, or when more tasks
+    depend on one memory segment than a Kick-Off List can hold.  Nexus++
+    avoids both via dummy tasks / dummy entries — which is exactly the
+    paper's argument (§III-C): with spilling enabled this error is
+    unreachable as long as the Task Pool itself is large enough.
+    """
+
+
+class ProtocolError(HardwareError):
+    """An internal invariant of the hardware model was violated (a bug)."""

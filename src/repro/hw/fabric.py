@@ -1,0 +1,117 @@
+"""The machine fabric: every queue, table and port the components share.
+
+Fig. 2 of the paper is a block diagram of FIFO lists and 1-bit signals
+between Task Maestro blocks and the per-core Task Controllers; this module
+is that diagram as a data structure.  The Maestro, Task Controllers and
+master core all receive the same :class:`Fabric` instance and communicate
+exclusively through it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import SystemConfig
+from ..sim import Fifo, Resource, Signal, Simulator
+from ..traces.trace import TaskTrace, TraceTask
+from .dependence_table import DependenceTable
+from .memory import MemorySystem
+from .task_pool import TaskPool
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Shared state of one Nexus++ machine instance."""
+
+    def __init__(self, sim: Simulator, config: SystemConfig, trace: TaskTrace):
+        self.sim = sim
+        self.config = config
+        self.trace = trace
+        cycle = config.nexus_cycle
+
+        # ---- tables -------------------------------------------------------------
+        self.task_pool = TaskPool(
+            config.task_pool_entries, config.max_params_per_td, config.restricted
+        )
+        self.dep_table = DependenceTable(
+            config.dependence_table_entries,
+            config.kickoff_list_size,
+            config.restricted,
+        )
+        # Single-ported SRAMs: concurrent Maestro blocks arbitrate for access
+        # (the paper's per-entry busy bits have the same effect).
+        self.tp_port = Resource(sim, 1, name="tp-port")
+        self.dt_port = Resource(sim, 1, name="dt-port")
+        #: Raised by Handle Finished whenever Dependence Table slots free up,
+        #: so a stalled Check Deps can retry its allocation.
+        self.dt_freed = Signal(sim, name="dt-freed")
+
+        # ---- memory ---------------------------------------------------------------
+        self.memory = MemorySystem(sim, config)
+
+        # ---- Maestro-side FIFO lists (Table IV) -------------------------------------
+        #: Get TDs block buffering (TDs Buffer + TDs Sizes list): decouples
+        #: the master from Write TP; the master stalls when it fills.
+        self.tds_buffer: Fifo = Fifo(
+            sim, config.tds_sizes_list_entries, "tds-buffer", track_occupancy=True
+        )
+        self.new_tasks: Fifo = Fifo(sim, config.new_tasks_list_entries, "new-tasks")
+        self.tp_free: Fifo = Fifo(sim, config.tp_free_list_entries, "tp-free-indices")
+        for idx in range(config.task_pool_entries):
+            if not self.tp_free.try_put(idx):
+                raise ValueError("TP Free Indices list cannot hold all indices")
+        self.global_ready: Fifo = Fifo(
+            sim, config.global_ready_list_entries, "global-ready", track_occupancy=True
+        )
+        self.worker_ids: Fifo = Fifo(sim, config.worker_ids_list_entries, "worker-ids")
+        # "contains initially all worker cores IDs (repeated 'buffering
+        # depth' times)" — round-robin order so one pass hands every core a
+        # task before any core gets its second.
+        for _ in range(config.buffering_depth):
+            for core in range(config.workers):
+                if not self.worker_ids.try_put(core):
+                    raise ValueError(
+                        "Worker Cores IDs list too small for "
+                        f"{config.workers} workers x depth {config.buffering_depth}"
+                    )
+
+        # ---- per-core channels ----------------------------------------------------------
+        depth = config.buffering_depth
+        self.rdy_fifo: List[Fifo] = [
+            Fifo(sim, depth, f"c{c}-rdy-tasks") for c in range(config.workers)
+        ]
+        self.fin_fifo: List[Fifo] = [
+            Fifo(sim, depth, f"c{c}-fin-tasks") for c in range(config.workers)
+        ]
+        self.td_channel: List[Fifo] = [
+            Fifo(sim, 1, f"c{c}-td-link") for c in range(config.workers)
+        ]
+        #: TD request lines into the Send TDs block (core, tp_head) pairs.
+        self.td_request: Fifo = Fifo(sim, config.workers * depth, "td-requests")
+        #: Task-finished notification lines into Handle Finished (core ids).
+        self.finished_notify: Fifo = Fifo(
+            sim, config.workers * depth, "finished-notify"
+        )
+
+        # ---- task identity --------------------------------------------------------------
+        #: TP head index -> in-flight trace task (index reuse is safe: an
+        #: index is only recycled after Handle Finished retires the task).
+        self.inflight: Dict[int, TraceTask] = {}
+
+        # Pre-validate: the hardware compares base addresses, so a task
+        # listing the same address twice would race against itself.
+        for task in trace:
+            addrs = [p.addr for p in task.params]
+            if len(set(addrs)) != len(addrs):
+                raise ValueError(
+                    f"task {task.tid} lists a base address twice; Nexus++ "
+                    "tracks dependencies per base address (merge the "
+                    "parameters into a single inout)"
+                )
+
+        self.on_chip = config.on_chip_access_time
+        self.cycle = cycle
+
+    def task_of(self, head: int) -> TraceTask:
+        return self.inflight[head]

@@ -1,0 +1,214 @@
+"""The Task Maestro: Nexus++'s central task-management engine (Fig. 2).
+
+Four concurrently running hardware blocks, each a simulation process:
+
+* **Write TP** — pulls received Task Descriptors out of the TDs Buffer,
+  allocates Task Pool indices from the TP Free Indices list (spilling wide
+  parameter lists into dummy tasks), stores the descriptor and pushes the
+  new task's ID onto the New Tasks list.
+* **Check Deps** — resolves the new task's dependencies against the
+  Dependence Table (Listing 2); ready tasks go to the Global Ready list.
+* **Schedule** — pairs ready tasks with worker-core slots from the Worker
+  Cores IDs list (round-robin load balancing: a core's ID re-enters the
+  list tail when a task of it retires).
+* **Send TDs** — serves Task Controllers' TD requests: reads the Task Pool,
+  streams the descriptor over the on-chip link and logs the task's ID into
+  that core's CiFinTasks list for later retirement.
+* **Handle Finished** — on a task-finished notification: reads the finished
+  ID from CiFinTasks, walks its parameter list updating the Dependence
+  Table, kicks off released waiters (decrementing their Dependence
+  Counters), frees the Task Pool chain and returns the worker-core ID.
+
+The *Get TDs* block of the paper is the `tds_buffer` FIFO itself — its job
+is decoupling the master from Write TP, which a buffered channel models
+exactly.
+
+Timing: every table access costs ``on_chip_access_time`` (hash lookups cost
+one access per probe), FIFO manipulations cost one Nexus cycle, and TD
+transfers to Task Controllers use the on-chip-bus word timing.  Tables are
+single-ported: blocks arbitrate through ``tp_port``/``dt_port``.
+"""
+
+from __future__ import annotations
+
+from ..scoreboard import Scoreboard
+from ..sim import BusyTracker
+from .fabric import Fabric
+
+__all__ = ["TaskMaestro"]
+
+
+class TaskMaestro:
+    """Owns and starts the Maestro block processes."""
+
+    BLOCKS = ("write_tp", "check_deps", "schedule", "send_tds", "handle_finished")
+
+    def __init__(self, fabric: Fabric, scoreboard: Scoreboard):
+        self.fabric = fabric
+        self.scoreboard = scoreboard
+        #: Set by the machine once the final task retires (diagnostics).
+        self.retired = 0
+        #: Busy-time trackers per block, for bottleneck attribution: a block
+        #: is "busy" from popping its trigger FIFO until it hands the item
+        #: on — i.e. the time it could not accept further work.
+        self.busy = {name: BusyTracker(fabric.sim) for name in self.BLOCKS}
+
+    def utilization(self, span: int) -> dict:
+        """Fraction of ``span`` each Maestro block spent occupied."""
+        return {name: t.utilization(span) for name, t in self.busy.items()}
+
+    def start(self) -> None:
+        sim = self.fabric.sim
+        sim.process(self._write_tp(), name="maestro.write-tp")
+        sim.process(self._check_deps(), name="maestro.check-deps")
+        sim.process(self._schedule(), name="maestro.schedule")
+        sim.process(self._send_tds(), name="maestro.send-tds")
+        sim.process(self._handle_finished(), name="maestro.handle-finished")
+
+    # ---- Write TP ---------------------------------------------------------------
+
+    def _write_tp(self):
+        fab = self.fabric
+        sim = fab.sim
+        while True:
+            task = yield fab.tds_buffer.get()
+            self.busy["write_tp"].begin()
+            # Reading the TDs Sizes entry and the TDs Buffer costs a cycle.
+            yield sim.timeout(fab.cycle)
+            need = fab.task_pool.entries_for(task)  # CapacityError if restricted
+            indices = []
+            for _ in range(need):
+                idx = yield fab.tp_free.get()
+                indices.append(idx)
+            yield fab.tp_port.acquire()
+            head, accesses = fab.task_pool.store(task, indices)
+            fab.task_pool.begin_check(head)
+            yield sim.timeout(accesses * fab.on_chip)
+            fab.tp_port.release()
+            fab.inflight[head] = task
+            self.scoreboard.records[task.tid].stored = sim.now
+            self.busy["write_tp"].end()
+            yield fab.new_tasks.put(head)
+
+    # ---- Check Deps (Listing 2) ----------------------------------------------------
+
+    def _check_deps(self):
+        fab = self.fabric
+        sim = fab.sim
+        while True:
+            head = yield fab.new_tasks.get()
+            self.busy["check_deps"].begin()
+            task = fab.task_of(head)
+            for param in task.params:
+                # A parameter may need one fresh Dependence Table slot
+                # (a new address entry or a Kick-Off dummy); stall until
+                # Handle Finished frees space rather than overflow.
+                while fab.dep_table.free_slots == 0:
+                    fab.dt_freed.clear()
+                    yield fab.dt_freed.wait()
+                yield fab.dt_port.acquire()
+                blocked, accesses = fab.dep_table.check_param(
+                    head, param.addr, param.size, param.mode.reads, param.mode.writes
+                )
+                yield sim.timeout(accesses * fab.on_chip)
+                fab.dt_port.release()
+                if blocked:
+                    yield fab.tp_port.acquire()
+                    fab.task_pool.add_dependence(head)
+                    yield sim.timeout(fab.on_chip)
+                    fab.tp_port.release()
+            yield fab.tp_port.acquire()
+            ready = fab.task_pool.finish_check(head)
+            yield sim.timeout(fab.on_chip)
+            fab.tp_port.release()
+            self.busy["check_deps"].end()
+            if ready:
+                self.scoreboard.records[task.tid].ready = sim.now
+                yield fab.global_ready.put(head)
+
+    # ---- Schedule --------------------------------------------------------------------
+
+    def _schedule(self):
+        fab = self.fabric
+        sim = fab.sim
+        while True:
+            head = yield fab.global_ready.get()
+            core = yield fab.worker_ids.get()
+            self.busy["schedule"].begin()
+            yield sim.timeout(2 * fab.cycle)  # pop both lists, push one
+            task = fab.task_of(head)
+            record = self.scoreboard.records[task.tid]
+            record.dispatched = sim.now
+            record.core = core
+            self.busy["schedule"].end()
+            yield fab.rdy_fifo[core].put(head)
+
+    # ---- Send TDs -----------------------------------------------------------------------
+
+    def _send_tds(self):
+        fab = self.fabric
+        sim = fab.sim
+        cfg = fab.config
+        while True:
+            core, head = yield fab.td_request.get()
+            self.busy["send_tds"].begin()
+            yield sim.timeout(fab.cycle)  # request-line arbitration
+            yield fab.tp_port.acquire()
+            params, accesses = fab.task_pool.read_params(head)
+            yield sim.timeout(accesses * fab.on_chip)
+            fab.tp_port.release()
+            # Stream the descriptor (function pointer word + parameters).
+            yield sim.timeout(cfg.td_transfer_time(len(params)))
+            self.busy["send_tds"].end()
+            yield fab.fin_fifo[core].put(head)
+            yield fab.td_channel[core].put(head)
+
+    # ---- Handle Finished --------------------------------------------------------------------
+
+    def _handle_finished(self):
+        fab = self.fabric
+        sim = fab.sim
+        while True:
+            core = yield fab.finished_notify.get()
+            self.busy["handle_finished"].begin()
+            yield sim.timeout(fab.cycle)  # observe + acknowledge the 1-bit line
+            head = yield fab.fin_fifo[core].get()
+            task = fab.task_of(head)
+            # Read the finished task's input/output list from the Task Pool.
+            yield fab.tp_port.acquire()
+            params, accesses = fab.task_pool.read_params(head)
+            yield sim.timeout(accesses * fab.on_chip)
+            fab.tp_port.release()
+            # Update the Dependence Table per parameter; collect kick-offs.
+            granted: list[int] = []
+            for param in params:
+                yield fab.dt_port.acquire()
+                kicked, accesses = fab.dep_table.finish_param(
+                    head, param.addr, param.mode.reads, param.mode.writes
+                )
+                yield sim.timeout(accesses * fab.on_chip)
+                fab.dt_port.release()
+                granted.extend(kicked)
+                fab.dt_freed.set()
+            # Kick off pending tasks whose Dependence Counter reached zero.
+            for waiter_head in granted:
+                yield fab.tp_port.acquire()
+                became_ready = fab.task_pool.resolve_dependence(waiter_head)
+                yield sim.timeout(fab.on_chip)
+                fab.tp_port.release()
+                if became_ready:
+                    waiter_task = fab.task_of(waiter_head)
+                    self.scoreboard.records[waiter_task.tid].ready = sim.now
+                    yield fab.global_ready.put(waiter_head)
+            # Retire: free the Task Pool chain, recycle index and core slot.
+            yield fab.tp_port.acquire()
+            freed, accesses = fab.task_pool.free_chain(head)
+            yield sim.timeout(accesses * fab.on_chip)
+            fab.tp_port.release()
+            del fab.inflight[head]
+            for idx in freed:
+                yield fab.tp_free.put(idx)
+            self.busy["handle_finished"].end()
+            yield fab.worker_ids.put(core)
+            self.retired += 1
+            self.scoreboard.note_completed(task.tid, sim.now)

@@ -1,0 +1,19 @@
+"""Full-system Task Machine simulator and sweep helpers."""
+
+from .bottleneck import BottleneckReport, analyze_bottleneck
+from .machine import NexusMachine, run_trace
+from .results import RunResult, Scoreboard, TaskRecord
+from .sweep import SpeedupCurve, speedup_curve, sweep_parameter
+
+__all__ = [
+    "NexusMachine",
+    "run_trace",
+    "RunResult",
+    "Scoreboard",
+    "TaskRecord",
+    "SpeedupCurve",
+    "speedup_curve",
+    "sweep_parameter",
+    "BottleneckReport",
+    "analyze_bottleneck",
+]

@@ -1,0 +1,98 @@
+"""Bottleneck attribution: which stage limits a run's throughput?
+
+The paper's discussion explains every measured saturation by pointing at a
+stage — "the master core ... cannot generate tasks fast enough", "due to
+limited memory bandwidth", "the application does not exhibit sufficient
+task-level parallelism".  This module derives that attribution from a
+:class:`~repro.machine.results.RunResult` automatically, so every bench
+can print not just *what* the speedup was but *why* it stopped there.
+
+The attribution compares stage occupancies over the run:
+
+* **master** — the master core's per-task preparation/submission time
+  (plus stall time waiting on a full TDs Buffer);
+* one of the five **Maestro blocks** (Write TP, Check Deps, Schedule,
+  Send TDs, Handle Finished);
+* **memory** — mean busy banks against the bank count;
+* **workers** — mean worker-core execution occupancy;
+* **application** — none of the above saturated: the dependency structure
+  itself starves the machine (the ready queue stayed empty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import SystemConfig
+from .results import RunResult
+
+__all__ = ["BottleneckReport", "analyze_bottleneck"]
+
+#: Occupancy above which a stage is considered saturated.
+_SATURATION = 0.90
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Stage occupancies plus the verdict."""
+
+    occupancy: Dict[str, float]
+    #: The saturated stage with the highest occupancy, or "application".
+    verdict: str
+
+    def ranked(self) -> List[tuple[str, float]]:
+        return sorted(self.occupancy.items(), key=lambda kv: -kv[1])
+
+    def describe(self) -> str:
+        top = ", ".join(f"{name} {occ:.0%}" for name, occ in self.ranked()[:3])
+        return f"bottleneck: {self.verdict} (top occupancies: {top})"
+
+
+def analyze_bottleneck(
+    result: RunResult, config: Optional[SystemConfig] = None
+) -> BottleneckReport:
+    """Attribute the limiting stage of a finished run.
+
+    ``config`` supplies machine geometry for the master-core occupancy
+    estimate; without it, master occupancy is derived from recorded
+    submission progress alone.
+    """
+    span = max(1, result.makespan)
+    occupancy: Dict[str, float] = {}
+
+    # Master core: fraction of the run spent actually producing.  Time the
+    # master spent *stalled* on a full TDs Buffer is downstream
+    # backpressure — the master is then a victim, not the bottleneck — so
+    # it is subtracted.
+    master_active = min(result.master_done, span)
+    stall = result.stats.get("master_stall_ps", 0)
+    occupancy["master"] = max(0, master_active - stall) / span
+
+    for block, util in result.stats.get("maestro_utilization", {}).items():
+        occupancy[f"maestro.{block}"] = util
+
+    memory = result.stats.get("memory", {})
+    banks_busy = memory.get("mean_busy_banks", 0.0)
+    if config is not None and config.memory_contention:
+        occupancy["memory"] = banks_busy / config.memory_banks
+    elif banks_busy:
+        occupancy["memory"] = banks_busy / 32.0
+
+    worker_busy = result.stats.get("worker_busy_fraction")
+    if worker_busy:
+        occupancy["workers"] = sum(worker_busy) / len(worker_busy)
+    else:
+        occupancy["workers"] = result.worker_utilization()
+
+    saturated = {k: v for k, v in occupancy.items() if v >= _SATURATION}
+    if saturated:
+        # Workers saturated means the machine is doing its job: only call
+        # them the bottleneck if nothing upstream is also saturated.
+        upstream = {k: v for k, v in saturated.items() if k != "workers"}
+        verdict = max(
+            (upstream or saturated).items(), key=lambda kv: kv[1]
+        )[0]
+    else:
+        verdict = "application"
+    return BottleneckReport(occupancy=occupancy, verdict=verdict)

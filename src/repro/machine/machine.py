@@ -1,0 +1,129 @@
+"""The Task Machine: the full-system simulator (paper §IV-B).
+
+Wires one master core, the Task Maestro, N worker cores with their Task
+Controllers and the banked off-chip memory, then replays a task trace to
+completion.
+
+Typical use::
+
+    from repro.config import paper_default
+    from repro.traces import h264_wavefront_trace
+    from repro.machine import NexusMachine
+
+    result = NexusMachine(paper_default(workers=16)).run(h264_wavefront_trace())
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SystemConfig
+from ..hw.errors import CapacityError
+from ..hw.fabric import Fabric
+from ..hw.master import MasterCore
+from ..hw.maestro import TaskMaestro
+from ..hw.task_controller import TaskController
+from ..sim import DeadlockError, ProcessError, Simulator
+from ..traces.trace import TaskTrace
+from .results import RunResult, Scoreboard
+
+__all__ = ["NexusMachine", "run_trace"]
+
+
+class NexusMachine:
+    """One simulated multicore system with Nexus++ task management."""
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        self.config = config or SystemConfig()
+
+    def run(self, trace: TaskTrace, max_time: Optional[int] = None) -> RunResult:
+        """Simulate the trace to completion and return the results.
+
+        Raises :class:`CapacityError` in restricted (original-Nexus) mode
+        when the workload exceeds a fixed structure, and
+        :class:`repro.sim.DeadlockError` if the machine genuinely wedges
+        (which would be a configuration or model bug — the paper's sizing
+        rules make the default machine deadlock-free).
+        """
+        cfg = self.config
+        sim = Simulator()
+        fabric = Fabric(sim, cfg, trace)
+        scoreboard = Scoreboard(len(trace))
+
+        master = MasterCore(fabric, scoreboard)
+        maestro = TaskMaestro(fabric, scoreboard)
+        controllers = [
+            TaskController(core, fabric, scoreboard) for core in range(cfg.workers)
+        ]
+        master.start()
+        maestro.start()
+        for tc in controllers:
+            tc.start()
+
+        try:
+            sim.run(until=max_time)
+        except DeadlockError:
+            # Component processes are endless loops; once the last task has
+            # retired every block parks on an empty FIFO and the event heap
+            # drains — that is the normal end of a run.
+            if not scoreboard.all_done:
+                raise
+        except ProcessError as exc:
+            if isinstance(exc.original, CapacityError):
+                raise exc.original from exc
+            raise
+
+        if not scoreboard.all_done and max_time is None:
+            raise RuntimeError(
+                f"run ended with {scoreboard.completed_count}/{len(trace)} tasks done"
+            )
+
+        # Post-conditions: the machine drained completely.
+        if scoreboard.all_done:
+            assert fabric.task_pool.is_empty, "Task Pool not empty after run"
+            assert fabric.dep_table.is_empty, "Dependence Table not empty after run"
+            assert not fabric.inflight, "in-flight map not empty after run"
+
+        span = max(1, scoreboard.last_completion)
+        stats = {
+            "maestro_utilization": maestro.utilization(span),
+            "worker_busy_fraction": [
+                tc.busy.utilization(span) for tc in controllers
+            ],
+            "dep_table": fabric.dep_table.stats(),
+            "task_pool": {
+                "high_water": fabric.task_pool.high_water,
+                "dummy_tasks_created": fabric.task_pool.dummy_tasks_created,
+            },
+            "memory": fabric.memory.stats(),
+            "master_stall_ps": master.stall_time,
+            "tds_buffer_mean_occupancy": (
+                fabric.tds_buffer.stat.mean() if fabric.tds_buffer.stat else 0.0
+            ),
+            "global_ready_mean_occupancy": (
+                fabric.global_ready.stat.mean() if fabric.global_ready.stat else 0.0
+            ),
+            "tasks_per_core": [tc.tasks_run for tc in controllers],
+        }
+        return RunResult(
+            trace_name=trace.name,
+            workers=cfg.workers,
+            makespan=scoreboard.last_completion,
+            master_done=master.done_at if master.done_at is not None else sim.now,
+            records=scoreboard.records,
+            stats=stats,
+            config_notes={
+                "memory_contention": cfg.memory_contention,
+                "buffering_depth": cfg.buffering_depth,
+                "task_prep_time": cfg.task_prep_time,
+                "task_pool_entries": cfg.task_pool_entries,
+                "dependence_table_entries": cfg.dependence_table_entries,
+                "restricted": cfg.restricted,
+            },
+        )
+
+
+def run_trace(trace: TaskTrace, config: Optional[SystemConfig] = None) -> RunResult:
+    """Convenience wrapper: simulate ``trace`` on a fresh machine."""
+    return NexusMachine(config).run(trace)

@@ -1,0 +1,79 @@
+"""Run results: aggregate metrics derived from a finished simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..scoreboard import Scoreboard, TaskRecord
+
+__all__ = ["TaskRecord", "Scoreboard", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything a finished simulation reports."""
+
+    trace_name: str
+    workers: int
+    #: Time of the last task's retirement (ps) — the figure speedups use.
+    makespan: int
+    #: When the master finished submitting the last TD (ps).
+    master_done: int
+    records: List[TaskRecord]
+    #: Component statistics (Dependence Table, Task Pool, memory, queues).
+    stats: Dict[str, Any] = field(default_factory=dict)
+    config_notes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.records)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Speedup of this run relative to ``baseline`` (usually 1 worker)."""
+        if self.makespan <= 0:
+            raise ValueError("makespan must be positive")
+        return baseline.makespan / self.makespan
+
+    def throughput_tasks_per_s(self) -> float:
+        return self.n_tasks / (self.makespan * 1e-12)
+
+    def worker_utilization(self) -> float:
+        """Aggregate fraction of worker-core time spent executing tasks."""
+        busy = sum(r.exec_end - r.exec_start for r in self.records)
+        return busy / (self.makespan * self.workers) if self.makespan else 0.0
+
+    def verify_against(self, graph) -> List[str]:
+        """All correctness checks against the golden task graph.
+
+        Empty list = the run is legal: every task ran exactly once, stage
+        timestamps are monotone, and no dependence edge was violated
+        (successor's input fetch never precedes predecessor's write-back).
+        """
+        problems: List[str] = []
+        if len(self.records) != graph.n_tasks:
+            problems.append(
+                f"{len(self.records)} records for {graph.n_tasks} tasks"
+            )
+            return problems
+        for record in self.records:
+            if not record.is_complete():
+                problems.append(f"task {record.tid} never completed")
+            problems.extend(record.check_monotone())
+        if problems:
+            return problems
+        starts = [r.fetch_start for r in self.records]
+        # Data becomes visible when Put Outputs finishes; Handle Finished may
+        # grant a waiter between the predecessor's write-back and its formal
+        # retirement, so write-back is the correct reference point.
+        finishes = [r.writeback_end for r in self.records]
+        problems.extend(graph.check_schedule(starts, finishes))
+        return problems
+
+    def summary(self) -> str:
+        return (
+            f"{self.trace_name}: {self.n_tasks} tasks on {self.workers} workers, "
+            f"makespan {self.makespan / 1e9:.4g} ms, "
+            f"{self.throughput_tasks_per_s() / 1e6:.3g} Mtasks/s, "
+            f"worker utilization {self.worker_utilization():.1%}"
+        )

@@ -1,0 +1,111 @@
+"""Parameter sweeps: speedup curves and design-space exploration helpers.
+
+All the paper's figures are sweeps of one machine parameter (worker count,
+Dependence Table size, Task Pool size, buffering depth) at a fixed
+workload; this module runs them and collects paper-style series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..config import SystemConfig
+from ..traces.trace import TaskTrace
+from .machine import NexusMachine
+from .results import RunResult
+
+__all__ = ["SpeedupCurve", "speedup_curve", "sweep_parameter"]
+
+
+@dataclass
+class SpeedupCurve:
+    """Speedup vs worker count, measured against the 1-worker run.
+
+    Matches the paper's methodology: "the speedup is measured against the
+    single core experiment of Nexus++ (double buffering enabled)".
+    """
+
+    trace_name: str
+    core_counts: List[int]
+    speedups: List[float]
+    baseline: RunResult
+    runs: List[RunResult] = field(default_factory=list)
+
+    def at(self, cores: int) -> float:
+        return self.speedups[self.core_counts.index(cores)]
+
+    def peak(self) -> float:
+        return max(self.speedups)
+
+    def saturation_point(self, tolerance: float = 0.05) -> int:
+        """Smallest core count within ``tolerance`` of the peak speedup."""
+        peak = self.peak()
+        for cores, s in zip(self.core_counts, self.speedups):
+            if s >= peak * (1.0 - tolerance):
+                return cores
+        return self.core_counts[-1]
+
+    def rows(self) -> List[tuple[int, float]]:
+        return list(zip(self.core_counts, self.speedups))
+
+
+def speedup_curve(
+    trace: TaskTrace,
+    core_counts: Sequence[int],
+    config: Optional[SystemConfig] = None,
+    baseline_config: Optional[SystemConfig] = None,
+) -> SpeedupCurve:
+    """Run ``trace`` for every worker count; speedups vs the 1-worker run.
+
+    ``config`` provides all non-worker-count parameters.  The baseline uses
+    the same configuration with a single worker (override with
+    ``baseline_config`` for e.g. contention-free baselines).
+    """
+    if not core_counts:
+        raise ValueError("need at least one core count")
+    base_cfg = (baseline_config or config or SystemConfig()).with_(workers=1)
+    baseline = NexusMachine(base_cfg).run(trace)
+    cfg = config or SystemConfig()
+    runs: List[RunResult] = []
+    speedups: List[float] = []
+    for cores in core_counts:
+        if cores == 1 and base_cfg == cfg.with_(workers=1):
+            result = baseline
+        else:
+            result = NexusMachine(cfg.with_(workers=cores)).run(trace)
+        runs.append(result)
+        speedups.append(result.speedup_over(baseline))
+    return SpeedupCurve(
+        trace_name=trace.name,
+        core_counts=list(core_counts),
+        speedups=speedups,
+        baseline=baseline,
+        runs=runs,
+    )
+
+
+def sweep_parameter(
+    trace: TaskTrace,
+    base_config: SystemConfig,
+    parameter: str,
+    values: Sequence[Any],
+    extract: Optional[Callable[[RunResult], Any]] = None,
+) -> Dict[Any, Any]:
+    """Run the trace once per parameter value; returns ``{value: extracted}``.
+
+    Used by the Fig. 6 design-space exploration (Dependence Table / Task
+    Pool sizes).  ``extract`` defaults to the whole :class:`RunResult`.
+    """
+    out: Dict[Any, Any] = {}
+    for value in values:
+        overrides: Dict[str, Any] = {parameter: value}
+        if parameter == "task_pool_entries":
+            # Keep the free-index list large enough (config invariant).
+            overrides["tp_free_list_entries"] = max(
+                value, base_config.tp_free_list_entries
+            )
+        cfg = base_config.with_(**overrides)
+        result = NexusMachine(cfg).run(trace)
+        out[value] = extract(result) if extract else result
+    return out

@@ -1,0 +1,16 @@
+"""Software runtime layer: golden task graph, functional executor,
+software-RTS timing baseline."""
+
+from .executor import DataflowExecutor, ExecutionReport
+from .software_rts import SoftwareRTSConfig, run_software_rts
+from .task_graph import DependenceKind, TaskGraph, build_task_graph
+
+__all__ = [
+    "TaskGraph",
+    "build_task_graph",
+    "DependenceKind",
+    "DataflowExecutor",
+    "ExecutionReport",
+    "SoftwareRTSConfig",
+    "run_software_rts",
+]

@@ -1,0 +1,119 @@
+"""Per-task lifecycle records shared by all machine components.
+
+Lives at the package top level so the hardware components (repro.hw) and
+the machine driver (repro.machine) can both import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["TaskRecord", "Scoreboard"]
+
+_UNSET = -1
+
+
+@dataclass
+class TaskRecord:
+    """Lifecycle timestamps (ps) of one task through the machine.
+
+    ``submitted``: master finished sending the TD;
+    ``stored``: Write TP placed it in the Task Pool;
+    ``ready``: its ID entered the Global Ready Tasks list;
+    ``dispatched``: Schedule assigned it to a worker core;
+    ``fetch_start``/``exec_start``/``exec_end``/``writeback_end``: the Task
+    Controller pipeline stages;
+    ``completed``: Handle Finished retired it and updated the task graph.
+    """
+
+    __slots__ = (
+        "tid",
+        "core",
+        "submitted",
+        "stored",
+        "ready",
+        "dispatched",
+        "fetch_start",
+        "exec_start",
+        "exec_end",
+        "writeback_end",
+        "completed",
+    )
+
+    tid: int
+    core: int
+    submitted: int
+    stored: int
+    ready: int
+    dispatched: int
+    fetch_start: int
+    exec_start: int
+    exec_end: int
+    writeback_end: int
+    completed: int
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.core = _UNSET
+        self.submitted = _UNSET
+        self.stored = _UNSET
+        self.ready = _UNSET
+        self.dispatched = _UNSET
+        self.fetch_start = _UNSET
+        self.exec_start = _UNSET
+        self.exec_end = _UNSET
+        self.writeback_end = _UNSET
+        self.completed = _UNSET
+
+    def is_complete(self) -> bool:
+        return self.completed != _UNSET
+
+    def check_monotone(self) -> List[str]:
+        """Lifecycle timestamps must be non-decreasing; returns violations."""
+        stages = [
+            ("submitted", self.submitted),
+            ("stored", self.stored),
+            ("ready", self.ready),
+            ("dispatched", self.dispatched),
+            ("fetch_start", self.fetch_start),
+            ("exec_start", self.exec_start),
+            ("exec_end", self.exec_end),
+            ("writeback_end", self.writeback_end),
+            ("completed", self.completed),
+        ]
+        problems = []
+        last_name, last_t = stages[0]
+        for name, t in stages[1:]:
+            if t == _UNSET or last_t == _UNSET:
+                problems.append(f"task {self.tid}: stage {name} never happened")
+                continue
+            if t < last_t:
+                problems.append(
+                    f"task {self.tid}: {name}@{t} precedes {last_name}@{last_t}"
+                )
+            last_name, last_t = name, t
+        return problems
+
+
+class Scoreboard:
+    """Mutable run-time record store shared by all machine components."""
+
+    def __init__(self, n_tasks: int):
+        self.records = [TaskRecord(tid) for tid in range(n_tasks)]
+        self.completed_count = 0
+        self.last_completion = 0
+
+    def note_completed(self, tid: int, now: int) -> bool:
+        """Mark completion; True when this was the final task."""
+        self.records[tid].completed = now
+        self.completed_count += 1
+        if now > self.last_completion:
+            self.last_completion = now
+        return self.completed_count == len(self.records)
+
+    @property
+    def all_done(self) -> bool:
+        return self.completed_count == len(self.records)
+
+

@@ -1,0 +1,40 @@
+"""Exceptions raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class DeadlockError(SimError):
+    """The event queue drained while processes were still blocked.
+
+    This normally means an undersized FIFO or a missing notification: e.g. a
+    Task Pool that filled up while every consumer was waiting on the producer.
+    The message lists each blocked process and the primitive it waits on so
+    the cycle can be read straight off the error.
+    """
+
+    def __init__(self, blocked: list[tuple[str, str]]):
+        self.blocked = blocked
+        lines = "\n".join(f"  - {name}: waiting on {what}" for name, what in blocked)
+        super().__init__(
+            f"simulation deadlocked with {len(blocked)} blocked process(es):\n{lines}"
+        )
+
+
+class ProcessError(SimError):
+    """An exception escaped a simulation process.
+
+    Wraps the original exception and records which process raised it and at
+    what simulated time, preserving the original traceback as ``__cause__``.
+    """
+
+    def __init__(self, process_name: str, now: int, original: BaseException):
+        self.process_name = process_name
+        self.now = now
+        self.original = original
+        super().__init__(
+            f"process {process_name!r} failed at t={now}ps: {original!r}"
+        )

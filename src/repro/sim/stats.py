@@ -1,0 +1,132 @@
+"""Measurement helpers: time-weighted occupancy, busy time, plain samples.
+
+Every statistic is cheap to record (a few arithmetic ops) so they can stay
+enabled in benchmark runs; the expensive aggregations happen only when a
+summary is requested.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core import Simulator
+
+__all__ = ["OccupancyStat", "BusyTracker", "Sampler"]
+
+
+class OccupancyStat:
+    """Time-weighted statistics of an integer level (queue length, banks busy).
+
+    Records ``level`` transitions; :meth:`mean` integrates level over time.
+    """
+
+    __slots__ = ("_sim", "_level", "_last_change", "_area", "max_level", "_t0")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._level = 0
+        self._t0 = sim.now
+        self._last_change = sim.now
+        self._area = 0  # integral of level dt
+        self.max_level = 0
+
+    def record(self, level: int) -> None:
+        now = self._sim.now
+        self._area += self._level * (now - self._last_change)
+        self._last_change = now
+        self._level = level
+        if level > self.max_level:
+            self.max_level = level
+
+    def mean(self, until: Optional[int] = None) -> float:
+        """Time-weighted mean level from creation to ``until`` (default: now)."""
+        end = self._sim.now if until is None else until
+        span = end - self._t0
+        if span <= 0:
+            return float(self._level)
+        area = self._area + self._level * (end - self._last_change)
+        return area / span
+
+
+class BusyTracker:
+    """Accumulates busy time of a unit (a worker core, a Maestro block).
+
+    Usage: ``tracker.begin()`` when work starts, ``tracker.end()`` when it
+    stops; :meth:`utilization` divides accumulated busy time by elapsed time.
+    """
+
+    __slots__ = ("_sim", "_busy_since", "busy_time", "intervals")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._busy_since: Optional[int] = None
+        self.busy_time = 0
+        self.intervals = 0
+
+    def begin(self) -> None:
+        if self._busy_since is not None:
+            raise RuntimeError("BusyTracker.begin() while already busy")
+        self._busy_since = self._sim.now
+
+    def end(self) -> None:
+        if self._busy_since is None:
+            raise RuntimeError("BusyTracker.end() while not busy")
+        self.busy_time += self._sim.now - self._busy_since
+        self.intervals += 1
+        self._busy_since = None
+
+    @property
+    def is_busy(self) -> bool:
+        return self._busy_since is not None
+
+    def utilization(self, span: int) -> float:
+        """Fraction of ``span`` spent busy (counts an open interval to now)."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self._sim.now - self._busy_since
+        return busy / span if span > 0 else 0.0
+
+
+class Sampler:
+    """Plain running statistics over recorded samples (Welford's algorithm)."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if self.min is None or x < self.min:
+            self.min = x
+        if self.max is None or x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Sampler n={self.count} mean={self.mean:.4g} "
+            f"min={self.min} max={self.max}>"
+        )

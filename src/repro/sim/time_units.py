@@ -1,0 +1,57 @@
+"""Simulation time units.
+
+The kernel counts time in integer **picoseconds**.  Integers keep the
+simulation exactly deterministic (no floating-point accumulation drift) and
+are cheap in CPython.  All paper constants are exactly representable:
+a 500 MHz Nexus++ cycle is ``2 * NS``, an H.264 task executes for
+``11_800 * NS`` on average, etc.
+"""
+
+from __future__ import annotations
+
+#: One picosecond — the base tick of the simulation clock.
+PS: int = 1
+#: One nanosecond.
+NS: int = 1_000
+#: One microsecond.
+US: int = 1_000_000
+#: One millisecond.
+MS: int = 1_000_000_000
+#: One second.
+S: int = 1_000_000_000_000
+
+_SCALES = ((S, "s"), (MS, "ms"), (US, "us"), (NS, "ns"), (PS, "ps"))
+
+
+def fmt_time(t: int) -> str:
+    """Render a picosecond timestamp using the largest convenient unit.
+
+    >>> fmt_time(2_000)
+    '2ns'
+    >>> fmt_time(11_800_000)
+    '11.8us'
+    """
+    if t == 0:
+        return "0ps"
+    for scale, suffix in _SCALES:
+        if abs(t) >= scale:
+            value = t / scale
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.6g}{suffix}"
+    return f"{t}ps"
+
+
+def ns(value: float) -> int:
+    """Convert a (possibly fractional) nanosecond count to picoseconds."""
+    return round(value * NS)
+
+
+def us(value: float) -> int:
+    """Convert a (possibly fractional) microsecond count to picoseconds."""
+    return round(value * US)
+
+
+def cycles(n: int, cycle_time: int) -> int:
+    """Duration of ``n`` clock cycles with the given cycle time in ps."""
+    return n * cycle_time

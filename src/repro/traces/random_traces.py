@@ -1,0 +1,61 @@
+"""Randomized traces for property-based and stress testing.
+
+These never appear in the paper; they exist to differentially test the
+hardware Dependence Table against the golden software task graph across the
+whole hazard space (RAW / WAR / WAW, shared addresses, wide fan-out,
+parameter-count spills).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trace import AccessMode, Param, TaskTrace, TraceTask
+
+__all__ = ["random_trace"]
+
+_ADDR_BASE = 0x2000000
+_SEG_BYTES = 256
+
+
+def random_trace(
+    n_tasks: int,
+    n_addresses: int = 16,
+    max_params: int = 6,
+    seed: int = 0,
+    mean_exec: int = 1000,
+    mean_memory: int = 500,
+    name: str = "random",
+) -> TaskTrace:
+    """A trace with random parameter lists over a small shared address pool.
+
+    A small pool forces dense RAW/WAR/WAW interactions; ``max_params`` above
+    the hardware TD limit exercises dummy tasks.  Deterministic per seed.
+    """
+    if n_tasks < 1:
+        raise ValueError("need at least one task")
+    if n_addresses < 1:
+        raise ValueError("need at least one address")
+    if max_params < 1:
+        raise ValueError("need at least one parameter")
+    rng = np.random.default_rng(seed)
+    tasks = []
+    for tid in range(n_tasks):
+        k = int(rng.integers(1, max_params + 1))
+        k = min(k, n_addresses)
+        addr_ids = rng.choice(n_addresses, size=k, replace=False)
+        params = []
+        for a in addr_ids:
+            mode = AccessMode(int(rng.integers(0, 3)))
+            params.append(Param(_ADDR_BASE + int(a) * _SEG_BYTES, _SEG_BYTES, mode))
+        exec_time = int(rng.integers(1, 2 * mean_exec + 1))
+        read_time = int(rng.integers(0, 2 * mean_memory + 1))
+        write_time = int(rng.integers(0, 2 * mean_memory + 1))
+        tasks.append(
+            TraceTask(tid, 0xF00D, tuple(params), exec_time, read_time, write_time)
+        )
+    return TaskTrace(
+        name,
+        tasks,
+        meta={"pattern": "random", "seed": seed, "n_addresses": n_addresses},
+    )

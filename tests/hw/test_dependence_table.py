@@ -1,0 +1,297 @@
+"""Unit tests for the Dependence Table: Listing 2, Kick-Off Lists, dummies."""
+
+import pytest
+
+from repro.hw.dependence_table import (
+    DependenceTable,
+    kickoff_entries_needed,
+)
+from repro.hw.errors import CapacityError, ProtocolError
+
+A, B = 0x1000, 0x2000
+
+
+def dt(entries=64, kick=8, **kw):
+    return DependenceTable(entries, kick, **kw)
+
+
+def check(table, tid, addr, mode):
+    reads = mode in ("in", "inout")
+    writes = mode in ("out", "inout")
+    blocked, _ = table.check_param(tid, addr, 64, reads, writes)
+    return blocked
+
+
+def finish(table, tid, addr, mode):
+    reads = mode in ("in", "inout")
+    writes = mode in ("out", "inout")
+    granted, _ = table.finish_param(tid, addr, reads, writes)
+    return granted
+
+
+class TestKickoffEntriesNeeded:
+    @pytest.mark.parametrize(
+        "waiters,expected",
+        [(0, 1), (1, 1), (8, 1), (9, 2), (15, 2), (16, 3), (22, 3), (23, 4)],
+    )
+    def test_spans(self, waiters, expected):
+        assert kickoff_entries_needed(waiters, 8) == expected
+
+
+class TestListing2NewTasks:
+    def test_first_reader_inserts_and_runs(self):
+        t = dt()
+        assert not check(t, 0, A, "in")
+        e = t.entry_for(A)
+        assert e.readers == 1 and not e.is_out
+
+    def test_first_writer_inserts_and_runs(self):
+        t = dt()
+        assert not check(t, 0, A, "out")
+        e = t.entry_for(A)
+        assert e.is_out and e.readers == 0
+
+    def test_concurrent_readers_share(self):
+        t = dt()
+        assert not check(t, 0, A, "in")
+        assert not check(t, 1, A, "in")
+        assert t.entry_for(A).readers == 2
+
+    def test_raw_blocks_reader(self):
+        t = dt()
+        check(t, 0, A, "out")
+        assert check(t, 1, A, "in")  # blocked behind the writer
+        assert [w.tid for w in t.entry_for(A).kick] == [1]
+
+    def test_waw_blocks_writer(self):
+        t = dt()
+        check(t, 0, A, "out")
+        assert check(t, 1, A, "out")
+        e = t.entry_for(A)
+        assert e.is_out and not e.writer_waits  # ww is for writer-behind-readers
+
+    def test_war_sets_writer_waits(self):
+        t = dt()
+        check(t, 0, A, "in")
+        assert check(t, 1, A, "out")
+        e = t.entry_for(A)
+        assert e.writer_waits and not e.is_out
+        assert e.readers == 1
+
+    def test_reader_does_not_bypass_waiting_writer(self):
+        # T0 reads, T10 wants to write (ww set), T2 wants to read: T2 must
+        # queue too — "any other task that wishes to access B ... will be
+        # added to the Kick-Off List of B".
+        t = dt()
+        check(t, 0, A, "in")
+        check(t, 10, A, "out")
+        assert check(t, 2, A, "in")
+        assert [w.tid for w in t.entry_for(A).kick] == [10, 2]
+
+    def test_inout_treated_as_writer(self):
+        t = dt()
+        check(t, 0, A, "inout")
+        assert t.entry_for(A).is_out
+        assert check(t, 1, A, "inout")
+
+    def test_independent_addresses(self):
+        t = dt()
+        assert not check(t, 0, A, "out")
+        assert not check(t, 1, B, "out")
+        assert t.live_addresses == 2
+
+    def test_paramless_direction_rejected(self):
+        with pytest.raises(ProtocolError):
+            dt().check_param(0, A, 64, reads=False, writes=False)
+
+
+class TestHandleFinished:
+    def test_lone_writer_finish_deletes_entry(self):
+        t = dt()
+        check(t, 0, A, "out")
+        assert finish(t, 0, A, "out") == []
+        assert t.entry_for(A) is None
+        assert t.is_empty
+
+    def test_lone_reader_finish_deletes_entry(self):
+        t = dt()
+        check(t, 0, A, "in")
+        assert finish(t, 0, A, "in") == []
+        assert t.is_empty
+
+    def test_raw_release(self):
+        t = dt()
+        check(t, 0, A, "out")
+        check(t, 1, A, "in")
+        check(t, 2, A, "in")
+        granted = finish(t, 0, A, "out")
+        assert granted == [1, 2]
+        e = t.entry_for(A)
+        assert e.readers == 2 and not e.is_out
+
+    def test_waw_release_one_writer_at_a_time(self):
+        t = dt()
+        check(t, 0, A, "out")
+        check(t, 1, A, "out")
+        check(t, 2, A, "out")
+        assert finish(t, 0, A, "out") == [1]
+        e = t.entry_for(A)
+        assert e.is_out
+        assert [w.tid for w in e.kick] == [2]
+        assert finish(t, 1, A, "out") == [2]
+        assert finish(t, 2, A, "out") == []
+        assert t.is_empty
+
+    def test_war_release_after_last_reader(self):
+        t = dt()
+        check(t, 0, A, "in")
+        check(t, 1, A, "in")
+        check(t, 9, A, "out")  # ww
+        assert finish(t, 0, A, "in") == []
+        granted = finish(t, 1, A, "in")
+        assert granted == [9]
+        e = t.entry_for(A)
+        assert e.is_out and not e.writer_waits
+
+    def test_readers_granted_up_to_next_writer(self):
+        t = dt()
+        check(t, 0, A, "out")
+        check(t, 1, A, "in")
+        check(t, 2, A, "in")
+        check(t, 3, A, "out")
+        check(t, 4, A, "in")
+        granted = finish(t, 0, A, "out")
+        assert granted == [1, 2]
+        e = t.entry_for(A)
+        assert e.writer_waits and not e.is_out
+        assert [w.tid for w in e.kick] == [3, 4]
+        # Readers drain; the writer is granted, trailing reader still queued.
+        assert finish(t, 1, A, "in") == []
+        assert finish(t, 2, A, "in") == [3]
+        assert t.entry_for(A).is_out
+        assert finish(t, 3, A, "out") == [4]
+        assert finish(t, 4, A, "in") == []
+        assert t.is_empty
+
+    def test_finish_unknown_address_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown segment"):
+            dt().finish_param(0, A, True, False)
+
+    def test_reader_underflow_rejected(self):
+        t = dt()
+        check(t, 0, A, "out")
+        with pytest.raises(ProtocolError, match="underflow"):
+            finish(t, 0, A, "in")
+
+
+class TestKickoffSpilling:
+    def test_dummy_entries_allocated_beyond_kickoff_size(self):
+        t = dt(entries=64, kick=4)
+        check(t, 0, A, "out")
+        for tid in range(1, 6):  # 5 waiters > 4 slots
+            check(t, tid, A, "in")
+        e = t.entry_for(A)
+        assert len(e.kick) == 5
+        assert e.phys_entries == 2
+        assert t.dummy_entries_created == 1
+        assert t.occupied == 2  # address entry + 1 dummy
+
+    def test_dummy_entries_freed_as_list_drains(self):
+        t = dt(entries=64, kick=4)
+        check(t, 0, A, "out")
+        for tid in range(1, 10):  # 9 waiters -> parent(4)+d(3)+d(2): 3 entries
+            check(t, tid, A, "in")
+        assert t.entry_for(A).phys_entries == 3
+        granted = finish(t, 0, A, "out")
+        assert granted == list(range(1, 10))
+        assert t.entry_for(A).phys_entries == 1
+        # All 9 readers still active; entry remains until they finish.
+        for tid in range(1, 10):
+            finish(t, tid, A, "in")
+        assert t.is_empty
+
+    def test_restricted_mode_overflow_raises(self):
+        t = dt(entries=64, kick=4, restricted=True)
+        check(t, 0, A, "out")
+        for tid in range(1, 5):
+            check(t, tid, A, "in")
+        with pytest.raises(CapacityError, match="dummy entries are disabled"):
+            check(t, 5, A, "in")
+
+    def test_gaussian_scale_fanout(self):
+        # 200 tasks waiting on one segment: far beyond the 8-slot list.
+        t = dt(entries=64, kick=8)
+        check(t, 0, A, "out")
+        for tid in range(1, 201):
+            check(t, tid, A, "in")
+        e = t.entry_for(A)
+        assert len(e.kick) == 200
+        assert e.phys_entries == kickoff_entries_needed(200, 8)
+        assert t.max_kickoff_waiters == 200
+        granted = finish(t, 0, A, "out")
+        assert granted == list(range(1, 201))
+
+
+class TestCapacityAccounting:
+    def test_occupied_tracks_addresses(self):
+        t = dt(entries=8, kick=8)
+        for i in range(5):
+            check(t, i, 0x1000 + i * 64, "out")
+        assert t.occupied == 5
+        assert t.free_slots == 3
+
+    def test_overflow_without_stall_is_protocol_error(self):
+        t = dt(entries=2, kick=8)
+        check(t, 0, 0x1000, "out")
+        check(t, 1, 0x2000, "out")
+        with pytest.raises(ProtocolError, match="overflow"):
+            check(t, 2, 0x3000, "out")
+
+    def test_high_water(self):
+        t = dt(entries=8)
+        check(t, 0, A, "out")
+        check(t, 1, B, "out")
+        finish(t, 0, A, "out")
+        assert t.high_water == 2
+        assert t.occupied == 1
+
+
+class TestHashChainStats:
+    def test_collisions_counted(self):
+        # Force every address into one bucket.
+        t = DependenceTable(16, 8, hash_fn=lambda a, n: 0)
+        for i in range(5):
+            check(t, i, 0x1000 + i * 64, "out")
+        assert t.max_hash_chain == 5
+        # Probing the 5th entry costs 5 probes.
+        _, probes = t._lookup(0x1000 + 4 * 64)
+        assert probes == 5
+
+    def test_wider_table_shortens_chains(self):
+        def run(n_entries):
+            t = DependenceTable(n_entries, 8)
+            for i in range(200):
+                check(t, i, 0x1000 + i * 4096, "out")
+            return t.max_hash_chain
+
+        assert run(4096) <= run(256)
+
+    def test_mean_probes(self):
+        t = dt()
+        check(t, 0, A, "out")
+        assert t.mean_probes() >= 1.0
+
+    def test_stats_dict(self):
+        t = dt()
+        check(t, 0, A, "out")
+        s = t.stats()
+        assert s["occupied"] == 1
+        assert s["high_water"] == 1
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            DependenceTable(0, 8)
+        with pytest.raises(ValueError):
+            DependenceTable(8, 1)

@@ -1,0 +1,211 @@
+"""Property-based differential tests: hardware model vs golden semantics.
+
+Hypothesis generates random traces over small shared address pools (dense
+RAW/WAR/WAW interaction) and checks that
+
+* a synchronous replay of the Dependence Table (check-then-finish in any
+  legal completion order) admits exactly the golden dependence order,
+* the full machine's simulated schedule is legal for the golden graph,
+* hardware structures drain completely.
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.hw.dependence_table import DependenceTable
+from repro.machine import run_trace
+from repro.runtime.task_graph import build_task_graph
+from repro.traces import AccessMode, Param, TaskTrace, TraceTask
+
+# ---- trace strategy --------------------------------------------------------------
+
+_MODES = [AccessMode.IN, AccessMode.OUT, AccessMode.INOUT]
+
+
+@st.composite
+def traces(draw, max_tasks=24, max_addresses=6, max_params=4):
+    n_tasks = draw(st.integers(1, max_tasks))
+    n_addr = draw(st.integers(1, max_addresses))
+    tasks = []
+    for tid in range(n_tasks):
+        k = draw(st.integers(1, min(max_params, n_addr)))
+        addr_ids = draw(
+            st.lists(
+                st.integers(0, n_addr - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        params = tuple(
+            Param(0x1000 + a * 256, 256, draw(st.sampled_from(_MODES)))
+            for a in addr_ids
+        )
+        exec_time = draw(st.integers(1, 5000))
+        tasks.append(TraceTask(tid, 7, params, exec_time, 0, 0))
+    return TaskTrace("hypo", tasks)
+
+
+# ---- synchronous Dependence Table replay ---------------------------------------------
+
+
+def replay_dependence_table(trace, completion_policy):
+    """Feed the whole trace through a DependenceTable synchronously.
+
+    ``completion_policy`` picks which running task finishes next (index
+    into the running list) — exercising different interleavings.  Returns
+    the observed start order and a map tid -> set of tids that had finished
+    before it started.
+    """
+    dt = DependenceTable(4096, 8)
+    dep_count = {t.tid: 0 for t in trace}
+    started = []
+    finished_before_start = {}
+    finished = set()
+    ready = deque()
+
+    for task in trace:
+        blocked = 0
+        for p in task.params:
+            b, _ = dt.check_param(task.tid, p.addr, p.size, p.mode.reads, p.mode.writes)
+            blocked += int(b)
+        dep_count[task.tid] = blocked
+        if blocked == 0:
+            ready.append(task.tid)
+
+    running = []
+    while ready or running:
+        while ready:
+            tid = ready.popleft()
+            started.append(tid)
+            finished_before_start[tid] = set(finished)
+            running.append(tid)
+        # Finish one running task.
+        idx = completion_policy(len(running))
+        tid = running.pop(idx)
+        finished.add(tid)
+        task = trace[tid]
+        for p in task.params:
+            granted, _ = dt.finish_param(tid, p.addr, p.mode.reads, p.mode.writes)
+            for g in granted:
+                dep_count[g] -= 1
+                if dep_count[g] == 0:
+                    ready.append(g)
+    assert dt.is_empty, "Dependence Table did not drain"
+    return started, finished_before_start
+
+
+@settings(max_examples=120, deadline=None)
+@given(traces(), st.randoms(use_true_random=False))
+def test_dependence_table_matches_golden_graph(trace, rnd):
+    graph = build_task_graph(trace)
+    policy = lambda n: rnd.randrange(n)
+    started, finished_before = replay_dependence_table(trace, policy)
+    # Every task ran exactly once.
+    assert sorted(started) == list(range(len(trace)))
+    # A task may only start after all golden predecessors finished.
+    for tid in started:
+        missing = graph.predecessors[tid] - finished_before[tid]
+        assert not missing, (
+            f"task {tid} started before predecessors {sorted(missing)}"
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(traces())
+def test_dependence_table_no_spurious_blocking(trace):
+    """FIFO completion must never lose or duplicate a grant."""
+    started, _ = replay_dependence_table(trace, lambda n: 0)
+    assert sorted(started) == list(range(len(trace)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(), st.integers(2, 7))
+def test_kickoff_spilling_transparent(trace, kick_size):
+    """A tiny Kick-Off List (heavy dummy-entry use) gives identical order."""
+    dt_small = DependenceTable(4096, kick_size)
+    dt_big = DependenceTable(4096, 64)
+
+    def run(dt):
+        dep_count = {t.tid: 0 for t in trace}
+        order = []
+        ready = deque()
+        for task in trace:
+            blocked = 0
+            for p in task.params:
+                b, _ = dt.check_param(
+                    task.tid, p.addr, p.size, p.mode.reads, p.mode.writes
+                )
+                blocked += int(b)
+            dep_count[task.tid] = blocked
+            if blocked == 0:
+                ready.append(task.tid)
+        while ready:
+            tid = ready.popleft()
+            order.append(tid)
+            for p in trace[tid].params:
+                granted, _ = dt.finish_param(
+                    tid, p.addr, p.mode.reads, p.mode.writes
+                )
+                for g in granted:
+                    dep_count[g] -= 1
+                    if dep_count[g] == 0:
+                        ready.append(g)
+        return order
+
+    assert run(dt_small) == run(dt_big)
+
+
+# ---- full-machine property tests --------------------------------------------------------
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(traces(max_tasks=16), st.integers(1, 6))
+def test_machine_schedule_always_legal(trace, workers):
+    cfg = SystemConfig(workers=workers, memory_batch_chunks=8)
+    result = run_trace(trace, cfg)
+    graph = build_task_graph(trace)
+    problems = result.verify_against(graph)
+    assert problems == [], "\n".join(problems[:5])
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(traces(max_tasks=14), st.integers(1, 4))
+def test_machine_makespan_bounds(trace, workers):
+    cfg = SystemConfig(workers=workers, memory_contention=False)
+    result = run_trace(trace, cfg)
+    graph = build_task_graph(trace)
+    # Execution can never beat the critical path (pure exec time here).
+    critical_exec = graph.critical_path()
+    assert result.makespan >= critical_exec
+    # Nor can any worker have executed more than wall-clock time.
+    busy = max(
+        (r.exec_end - r.exec_start for r in result.records), default=0
+    )
+    assert busy <= result.makespan
+
+
+@settings(max_examples=25, deadline=None)
+@given(traces(max_tasks=20, max_addresses=3, max_params=2))
+def test_tiny_tables_still_correct(trace):
+    """Stress spill paths: minimal TP/DT with a hot 3-address pool."""
+    cfg = SystemConfig(
+        workers=2,
+        task_pool_entries=4,
+        tp_free_list_entries=4,
+        dependence_table_entries=8,
+        kickoff_list_size=2,
+        memory_contention=False,
+    )
+    result = run_trace(trace, cfg)
+    graph = build_task_graph(trace)
+    assert result.verify_against(graph) == []

@@ -1,0 +1,75 @@
+"""Tests for bottleneck attribution (the 'why did it stop scaling' report)."""
+
+import pytest
+
+from repro.config import SystemConfig, contention_free
+from repro.machine import analyze_bottleneck, run_trace
+from repro.traces import TimeModel, horizontal_chains_trace, independent_trace
+
+FAST = TimeModel(mean_exec=2_000_000, mean_memory=1_500_000, cv=0.0)
+
+
+class TestVerdicts:
+    def test_worker_bound_small_machine(self):
+        trace = independent_trace(n_tasks=300, n_params=2, time_model=FAST)
+        cfg = SystemConfig(workers=2, memory_contention=False)
+        result = run_trace(trace, cfg)
+        rep = analyze_bottleneck(result, cfg)
+        assert rep.verdict == "workers"
+        assert rep.occupancy["workers"] > 0.9
+
+    def test_memory_bound_with_contention(self):
+        trace = independent_trace(n_tasks=1500, n_params=2)
+        cfg = SystemConfig(workers=64)  # demand ~41 banks > 32
+        result = run_trace(trace, cfg)
+        rep = analyze_bottleneck(result, cfg)
+        assert rep.verdict == "memory"
+
+    def test_application_bound_chains(self):
+        trace = horizontal_chains_trace(rows=4, cols=50, time_model=FAST)
+        cfg = SystemConfig(workers=32, memory_contention=False)
+        result = run_trace(trace, cfg)
+        rep = analyze_bottleneck(result, cfg)
+        assert rep.verdict == "application"
+
+    def test_master_bound_at_scale(self):
+        trace = independent_trace()
+        cfg = contention_free(workers=256)
+        result = run_trace(trace, cfg)
+        rep = analyze_bottleneck(result, cfg)
+        assert rep.verdict == "master"
+
+
+class TestReportShape:
+    def test_ranked_and_describe(self):
+        trace = independent_trace(n_tasks=100, n_params=2, time_model=FAST)
+        cfg = SystemConfig(workers=2, memory_contention=False)
+        result = run_trace(trace, cfg)
+        rep = analyze_bottleneck(result, cfg)
+        ranked = rep.ranked()
+        assert ranked == sorted(ranked, key=lambda kv: -kv[1])
+        assert "bottleneck:" in rep.describe()
+
+    def test_maestro_blocks_present(self):
+        trace = independent_trace(n_tasks=50, n_params=2, time_model=FAST)
+        cfg = SystemConfig(workers=2, memory_contention=False)
+        result = run_trace(trace, cfg)
+        rep = analyze_bottleneck(result, cfg)
+        for block in ("write_tp", "check_deps", "schedule", "send_tds", "handle_finished"):
+            assert f"maestro.{block}" in rep.occupancy
+            assert 0.0 <= rep.occupancy[f"maestro.{block}"] <= 1.0
+
+    def test_utilizations_in_stats(self):
+        trace = independent_trace(n_tasks=50, n_params=2, time_model=FAST)
+        result = run_trace(trace, SystemConfig(workers=3, memory_contention=False))
+        util = result.stats["maestro_utilization"]
+        assert set(util) == {
+            "write_tp",
+            "check_deps",
+            "schedule",
+            "send_tds",
+            "handle_finished",
+        }
+        busy = result.stats["worker_busy_fraction"]
+        assert len(busy) == 3
+        assert all(0.0 <= b <= 1.0 for b in busy)

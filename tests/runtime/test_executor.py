@@ -1,0 +1,206 @@
+"""Tests for the functional dataflow executor (real computation)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import StarSsProgram
+from repro.runtime import DataflowExecutor
+
+
+class TestSerialExecution:
+    def test_executes_in_program_order(self):
+        prog = StarSsProgram()
+        log = []
+
+        @prog.task(inouts=("x",))
+        def step(x):
+            log.append(int(x[0]))
+            x[0] += 1
+
+        x = np.zeros(1)
+        for _ in range(4):
+            step(x)
+        report = DataflowExecutor().execute_serial(prog)
+        assert report.ok
+        assert log == [0, 1, 2, 3]
+        assert x[0] == 4
+
+
+class TestParallelExecution:
+    def test_simple_chain_result_correct(self):
+        prog = StarSsProgram()
+
+        @prog.task(inputs=("a",), outputs=("b",))
+        def copy(a, b):
+            b[:] = a
+
+        @prog.task(inouts=("x",))
+        def double(x):
+            x *= 2
+
+        a = np.arange(8.0)
+        b = np.zeros(8)
+        copy(a, b)
+        double(b)
+        double(b)
+        report = DataflowExecutor(workers=4).execute(prog)
+        assert report.ok
+        assert np.allclose(b, a * 4)
+
+    def test_independent_tasks_run_concurrently(self):
+        import threading
+        import time
+
+        prog = StarSsProgram()
+        gate = threading.Barrier(4, timeout=5)
+
+        @prog.task(inouts=("x",))
+        def wait_all(x):
+            gate.wait()  # deadlocks unless 4 run concurrently
+            x += 1
+
+        arrays = [np.zeros(1) for _ in range(4)]
+        for arr in arrays:
+            wait_all(arr)
+        report = DataflowExecutor(workers=4).execute(prog)
+        assert report.ok
+        assert report.max_concurrency >= 4
+        assert all(arr[0] == 1 for arr in arrays)
+
+    def test_dependencies_enforced_under_parallelism(self):
+        prog = StarSsProgram()
+
+        @prog.task(inputs=("src",), inouts=("acc",))
+        def add(src, acc):
+            acc += src
+
+        # acc is a chain: every add depends on the previous one.
+        acc = np.zeros(1)
+        srcs = [np.full(1, float(i)) for i in range(10)]
+        for s in srcs:
+            add(s, acc)
+        report = DataflowExecutor(workers=8).execute(prog)
+        assert report.ok
+        assert acc[0] == sum(range(10))
+        # Completion order must equal program order for a pure chain.
+        assert report.order == list(range(10))
+
+    def test_barrier_orders_epochs(self):
+        prog = StarSsProgram()
+        log = []
+
+        @prog.task(inouts=("x",))
+        def mark(x):
+            log.append(int(x[0]))
+
+        xs = [np.full(1, float(i)) for i in range(6)]
+        for x in xs[:3]:
+            mark(x)
+        prog.barrier()
+        for x in xs[3:]:
+            mark(x)
+        report = DataflowExecutor(workers=4).execute(prog)
+        assert report.ok
+        # All of epoch 0 strictly precedes all of epoch 1.
+        assert set(log[:3]) == {0, 1, 2}
+        assert set(log[3:]) == {3, 4, 5}
+
+    def test_task_exception_collected_not_raised(self):
+        prog = StarSsProgram()
+
+        @prog.task(inouts=("x",))
+        def boom(x):
+            raise RuntimeError("kaboom")
+
+        boom(np.zeros(1))
+        report = DataflowExecutor(workers=2).execute(prog)
+        assert not report.ok
+        assert "kaboom" in report.errors[0]
+
+    def test_empty_program(self):
+        report = DataflowExecutor().execute(StarSsProgram())
+        assert report.ok
+        assert report.n_tasks == 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            DataflowExecutor(workers=0)
+
+
+class TestGaussianEliminationFunctional:
+    """Real LU factorisation through the frontend, checked against SciPy."""
+
+    @staticmethod
+    def build(n, seed=0):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(n, n)) + np.eye(n) * n  # well-conditioned
+        prog = StarSsProgram("ge")
+        work = matrix.copy()  # factorisation happens in-place on the copy
+        rows = [work[i] for i in range(n)]
+        piv = np.zeros(n, dtype=np.int64)
+
+        @prog.task(inouts=("pivot_row", "below"))
+        def pivot(k, pivot_row, *below):
+            # Partial pivoting within the remaining rows: swap row contents.
+            col = [abs(pivot_row[k])] + [abs(r[k]) for r in below]
+            best = int(np.argmax(col))
+            if best > 0:
+                tmp = pivot_row.copy()
+                pivot_row[:] = below[best - 1]
+                below[best - 1][:] = tmp
+            piv[k] = best
+
+        @prog.task(inputs=("pivot_row",), inouts=("row",))
+        def eliminate(k, pivot_row, row):
+            factor = row[k] / pivot_row[k]
+            row[k:] -= factor * pivot_row[k:]
+            row[k] = factor  # store the multiplier, LU style
+
+        for k in range(n - 1):
+            pivot(k, rows[k], *rows[k + 1 :])
+            for j in range(k + 1, n):
+                eliminate(k, rows[k], rows[j])
+        return prog, matrix, rows
+
+    def test_matches_serial_reference(self):
+        prog, matrix, rows = self.build(12)
+        serial_prog, _, serial_rows = self.build(12)
+        DataflowExecutor().execute_serial(serial_prog)
+        report = DataflowExecutor(workers=4).execute(prog)
+        assert report.ok
+        for par, ser in zip(rows, serial_rows):
+            assert np.allclose(par, ser)
+
+    def test_reconstructs_matrix(self):
+        n = 10
+        prog, matrix, rows = self.build(n)
+        report = DataflowExecutor(workers=4).execute(prog)
+        assert report.ok
+        # Rebuild L and U from the in-place factorisation and check P*A = L@U
+        # up to the row permutation actually applied (we reconstruct by
+        # replaying the swaps on a copy — simpler: check that solving works).
+        u = np.triu(np.vstack(rows))
+        l = np.tril(np.vstack(rows), k=-1) + np.eye(n)
+        # The product L@U equals the matrix with pivot swaps applied; its
+        # determinant magnitude must match the original's.
+        assert abs(np.linalg.det(l @ u)) == pytest.approx(
+            abs(np.linalg.det(matrix)), rel=1e-8
+        )
+
+    @pytest.mark.skipif(
+        not pytest.importorskip("scipy", reason="scipy optional"), reason="no scipy"
+    )
+    def test_lu_against_scipy_without_pivoting_effects(self):
+        # With a strictly diagonally dominant matrix no swaps occur, so the
+        # factorisation must equal SciPy's LU exactly.
+        import scipy.linalg as sla
+
+        n = 9
+        prog, matrix, rows = self.build(n, seed=2)
+        report = DataflowExecutor(workers=3).execute(prog)
+        assert report.ok
+        _, l_ref, u_ref = sla.lu(matrix)
+        u = np.triu(np.vstack(rows))
+        l = np.tril(np.vstack(rows), k=-1) + np.eye(n)
+        assert np.allclose(u, u_ref, atol=1e-8)
+        assert np.allclose(l, l_ref, atol=1e-8)

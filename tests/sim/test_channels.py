@@ -1,0 +1,227 @@
+"""Unit tests for bounded FIFO channels."""
+
+import pytest
+
+from repro.sim import Fifo, Simulator
+
+
+def test_put_get_roundtrip():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=4)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield fifo.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield fifo.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_capacity_one_enforces_alternation():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1)
+    events = []
+
+    def producer():
+        for i in range(3):
+            yield fifo.put(i)
+            events.append(("put", i, sim.now))
+
+    def consumer():
+        for _ in range(3):
+            yield sim.timeout(10)
+            item = yield fifo.get()
+            events.append(("get", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    gets = [e for e in events if e[0] == "get"]
+    assert [g[1] for g in gets] == [0, 1, 2]
+    # Puts 1 and 2 must each wait for the preceding get to free the slot.
+    puts = {e[1]: e[2] for e in events if e[0] == "put"}
+    assert puts[0] == 0
+    assert puts[1] == 10
+    assert puts[2] == 20
+
+
+def test_producer_blocks_when_full():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=2)
+    progress = []
+
+    def producer():
+        yield fifo.put("a")
+        yield fifo.put("b")
+        progress.append(("filled", sim.now))
+        yield fifo.put("c")  # blocks until a get at t=50
+        progress.append(("unblocked", sim.now))
+
+    def consumer():
+        yield sim.timeout(50)
+        item = yield fifo.get()
+        progress.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("filled", 0) in progress
+    assert ("got", "a", 50) in progress
+    assert ("unblocked", 50) in progress
+
+
+def test_consumer_blocks_when_empty():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=2)
+    got = []
+
+    def consumer():
+        item = yield fifo.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(30)
+        yield fifo.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("late", 30)]
+
+
+def test_fifo_order_with_multiple_consumers():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=8)
+    got = []
+
+    def consumer(tag):
+        item = yield fifo.get()
+        got.append((tag, item))
+
+    def producer():
+        yield sim.timeout(5)
+        for i in range(2):
+            yield fifo.put(i)
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+    sim.process(producer())
+    sim.run()
+    # Consumers are served in arrival order.
+    assert got == [("first", 0), ("second", 1)]
+
+
+def test_blocked_producers_complete_in_order():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1)
+    order = []
+
+    def producer(tag):
+        yield fifo.put(tag)
+        order.append(tag)
+
+    def consumer():
+        for _ in range(3):
+            yield sim.timeout(10)
+            yield fifo.get()
+
+    for tag in ("p0", "p1", "p2"):
+        sim.process(producer(tag))
+    sim.process(consumer())
+    sim.run()
+    assert order == ["p0", "p1", "p2"]
+
+
+def test_try_put_nonblocking():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=2)
+    assert fifo.try_put(1)
+    assert fifo.try_put(2)
+    assert not fifo.try_put(3)
+    assert len(fifo) == 2
+    assert fifo.is_full
+
+
+def test_try_put_hands_to_waiting_getter():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield fifo.get()
+        got.append(item)
+
+    def producer():
+        yield sim.timeout(5)
+        assert fifo.try_put("direct")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == ["direct"]
+
+
+def test_unbounded_fifo_never_blocks_producer():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=None)
+
+    def producer():
+        for i in range(100):
+            yield fifo.put(i)
+        assert sim.now == 0  # no put ever blocked
+
+    sim.process(producer())
+
+    def consumer():
+        for i in range(100):
+            item = yield fifo.get()
+            assert item == i
+
+    sim.process(consumer())
+    sim.run()
+
+
+def test_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Fifo(sim, capacity=0)
+
+
+def test_snapshot_and_len():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=4)
+    fifo.try_put("x")
+    fifo.try_put("y")
+    assert fifo.snapshot() == ["x", "y"]
+    assert len(fifo) == 2
+    assert not fifo.is_empty
+
+
+def test_occupancy_statistics():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=4, track_occupancy=True)
+
+    def producer():
+        yield fifo.put("a")  # occupancy 1 at t=0
+        yield sim.timeout(100)
+        yield fifo.put("b")  # occupancy 2 at t=100
+
+    def consumer():
+        yield sim.timeout(200)
+        yield fifo.get()
+        yield fifo.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert fifo.stat.max_level == 2
+    # Level was 1 for t in [0,100), 2 for [100,200), 0 after.
+    assert fifo.stat.mean(until=200) == pytest.approx(1.5)

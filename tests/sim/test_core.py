@@ -1,0 +1,286 @@
+"""Unit tests for the simulation kernel core: processes, timeouts, ordering."""
+
+import pytest
+
+from repro.sim import NS, DeadlockError, ProcessError, Simulator
+
+
+def test_empty_run_returns_zero():
+    sim = Simulator()
+    assert sim.run() == 0
+    assert sim.now == 0
+
+
+def test_single_timeout_advances_time():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(5 * NS)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [5 * NS]
+    assert sim.now == 5 * NS
+
+
+def test_zero_timeout_completes_at_same_time():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(0)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    marks = []
+
+    def proc():
+        for d in (1, 2, 3):
+            yield sim.timeout(d * NS)
+            marks.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert marks == [1 * NS, 3 * NS, 6 * NS]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+
+    def make(tag):
+        def proc():
+            yield sim.timeout(10)
+            order.append(tag)
+
+        return proc
+
+    for tag in ("a", "b", "c"):
+        sim.process(make(tag)())
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_interleaving_is_deterministic():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def worker(name, period):
+            for _ in range(3):
+                yield sim.timeout(period)
+                log.append((sim.now, name))
+
+        sim.process(worker("x", 3))
+        sim.process(worker("y", 5))
+        sim.run()
+        return log
+
+    assert build() == build()
+
+
+def test_process_return_value_joinable():
+    sim = Simulator()
+    got = []
+
+    def child():
+        yield sim.timeout(7)
+        return 42
+
+    def parent():
+        result = yield sim.process(child(), name="child")
+        got.append((sim.now, result))
+
+    sim.process(parent(), name="parent")
+    sim.run()
+    assert got == [(7, 42)]
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+    got = []
+
+    def child():
+        return 99
+        yield  # pragma: no cover
+
+    def parent():
+        proc = sim.process(child(), name="child")
+        yield sim.timeout(100)
+        result = yield proc
+        got.append(result)
+
+    sim.process(parent())
+    sim.run()
+    assert got == [99]
+
+
+def test_multiple_joiners_all_resume():
+    sim = Simulator()
+    got = []
+
+    def child():
+        yield sim.timeout(5)
+        return "done"
+
+    def make_joiner(proc, tag):
+        def joiner():
+            result = yield proc
+            got.append((tag, result))
+
+        return joiner
+
+    def root():
+        proc = sim.process(child(), name="child")
+        sim.process(make_joiner(proc, 1)())
+        sim.process(make_joiner(proc, 2)())
+        yield sim.timeout(0)
+
+    sim.process(root())
+    sim.run()
+    assert sorted(got) == [(1, "done"), (2, "done")]
+
+
+def test_exception_in_process_wrapped_with_context():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(3)
+        raise ValueError("boom")
+
+    sim.process(bad(), name="bad-block")
+    with pytest.raises(ProcessError) as exc_info:
+        sim.run()
+    assert "bad-block" in str(exc_info.value)
+    assert isinstance(exc_info.value.original, ValueError)
+    assert exc_info.value.now == 3
+
+
+def test_yield_non_waitable_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 123
+
+    sim.process(bad(), name="bad")
+    with pytest.raises(ProcessError):
+        sim.run()
+
+
+def test_run_until_pauses_and_resumes():
+    sim = Simulator()
+    marks = []
+
+    def proc():
+        for _ in range(4):
+            yield sim.timeout(10)
+            marks.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=25)
+    assert sim.now == 25
+    assert marks == [10, 20]
+    sim.run()
+    assert marks == [10, 20, 30, 40]
+
+
+def test_call_at_runs_plain_callback():
+    sim = Simulator()
+    fired = []
+    sim.call_at(15, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [15]
+
+
+def test_call_at_past_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10)
+        sim.call_at(5, lambda: None)
+
+    sim.process(proc())
+    with pytest.raises(ProcessError):
+        sim.run()
+
+
+def test_deadlock_detection_reports_blocked_process():
+    from repro.sim import Fifo
+
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1, name="stuck-fifo")
+
+    def consumer():
+        yield fifo.get()
+        yield fifo.get()  # never satisfied
+
+    sim.process(consumer(), name="consumer")
+
+    def producer():
+        yield fifo.put("only-item")
+
+    sim.process(producer(), name="producer")
+    with pytest.raises(DeadlockError) as exc_info:
+        sim.run()
+    assert "consumer" in str(exc_info.value)
+    assert "stuck-fifo" in str(exc_info.value)
+
+
+def test_process_creation_inside_process_is_not_reentrant():
+    sim = Simulator()
+    order = []
+
+    def child():
+        order.append("child-runs")
+        yield sim.timeout(0)
+
+    def parent():
+        sim.process(child(), name="child")
+        order.append("parent-continues")
+        yield sim.timeout(0)
+
+    sim.process(parent(), name="parent")
+    sim.run()
+    # Parent must keep running past the spawn; child starts strictly later.
+    assert order == ["parent-continues", "child-runs"]
+
+
+def test_pending_events_counter():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5)
+
+    sim.process(proc())
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_many_processes_scale():
+    sim = Simulator()
+    done = []
+
+    def proc(i):
+        yield sim.timeout(i)
+        done.append(i)
+
+    for i in range(1000):
+        sim.process(proc(i))
+    sim.run()
+    assert len(done) == 1000
+    assert done == sorted(done)

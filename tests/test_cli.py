@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, main
+
+
+class TestInfoAndListing:
+    def test_info_prints_table_iv(self, capsys):
+        assert main(["info", "--workers", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "500 MHz" in out
+        assert "78 KB (1024 TDs)" in out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+
+class TestRun:
+    def test_run_independent(self, capsys):
+        rc = main(["run", "independent", "--tasks", "50", "--workers", "4",
+                   "--verify", "--no-contention"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "50 tasks" in out
+        assert "dependence check: OK" in out
+
+    def test_run_gaussian_with_bottleneck(self, capsys):
+        rc = main(["run", "gaussian", "--size", "24", "--workers", "2",
+                   "--bottleneck"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bottleneck:" in out
+        assert "dummy entries" in out
+
+    def test_run_cholesky(self, capsys):
+        rc = main(["run", "cholesky", "--tiles", "4", "--workers", "4", "--verify"])
+        assert rc == 0
+        assert "dependence check: OK" in capsys.readouterr().out
+
+    def test_restricted_gaussian_fails_loudly(self):
+        from repro.hw.errors import CapacityError
+
+        with pytest.raises(CapacityError):
+            main(["run", "gaussian", "--size", "24", "--workers", "2",
+                  "--restricted"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])
+
+
+class TestSweep:
+    def test_sweep_prints_curve(self, capsys):
+        rc = main(["sweep", "independent", "--tasks", "60", "--cores", "1,2,4",
+                   "--no-contention"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "saturation point" in out
+
+
+class TestValidate:
+    def test_validate_saved_trace(self, tmp_path, capsys):
+        from repro.traces import independent_trace
+
+        path = str(tmp_path / "t.npz")
+        independent_trace(n_tasks=10, n_params=2).save(path)
+        assert main(["validate", path]) == 0
+        out = capsys.readouterr().out
+        assert "10 tasks" in out
+        assert "critical path" in out

@@ -1,0 +1,120 @@
+"""Tests for the trace linter (aliasing the hardware cannot see, etc.)."""
+
+import pytest
+
+from repro.traces import (
+    AccessMode,
+    Param,
+    TaskTrace,
+    TraceTask,
+    cholesky_trace,
+    gaussian_trace,
+    h264_wavefront_trace,
+    independent_trace,
+    jacobi_stencil_trace,
+    pipeline_trace,
+    reduction_tree_trace,
+    vertical_chains_trace,
+)
+from repro.traces.validate import find_aliasing, lint_trace
+
+
+def task(tid, *params, cost=100):
+    return TraceTask(
+        tid, 1, tuple(Param(a, s, AccessMode.parse(m)) for a, s, m in params), cost
+    )
+
+
+class TestAliasing:
+    def test_disjoint_segments_clean(self):
+        trace = TaskTrace(
+            "ok", [task(0, (0x1000, 64, "out")), task(1, (0x1040, 64, "in"))]
+        )
+        assert find_aliasing(trace) == []
+
+    def test_overlap_with_different_bases_flagged(self):
+        # Task 0 writes 256 bytes at 0x1000; task 1 reads 64 bytes at 0x1080
+        # (inside it): the base-address rule misses this RAW dependence.
+        trace = TaskTrace(
+            "alias", [task(0, (0x1000, 256, "out")), task(1, (0x1080, 64, "in"))]
+        )
+        findings = find_aliasing(trace)
+        assert len(findings) == 1
+        assert "0x1000" in findings[0] and "0x1080" in findings[0]
+
+    def test_same_base_not_flagged(self):
+        trace = TaskTrace(
+            "same", [task(0, (0x1000, 256, "out")), task(1, (0x1000, 256, "in"))]
+        )
+        assert find_aliasing(trace) == []
+
+    def test_nested_overlaps_found_with_limit(self):
+        tasks = [task(0, (0x1000, 4096, "out"))]
+        for i in range(1, 10):
+            tasks.append(task(i, (0x1000 + i * 128, 64, "in")))
+        trace = TaskTrace("nested", tasks)
+        findings = find_aliasing(trace, limit=5)
+        assert len(findings) == 5
+
+    def test_adjacent_segments_ok(self):
+        trace = TaskTrace(
+            "adj", [task(0, (0x1000, 128, "out")), task(1, (0x1080, 128, "in"))]
+        )
+        assert find_aliasing(trace) == []
+
+
+class TestLintReport:
+    def test_clean_trace(self):
+        report = lint_trace(independent_trace(n_tasks=20))
+        assert report.ok
+        assert report.summary() == "lint: clean"
+
+    def test_zero_cost_warning(self):
+        trace = TaskTrace("zero", [task(0, (0x1000, 64, "out"), cost=0)])
+        report = lint_trace(trace)
+        assert report.ok  # warning, not error
+        assert any("zero total cost" in w for w in report.warnings)
+
+    def test_wide_task_warning(self):
+        trace = gaussian_trace(80)  # first pivot has 80 params
+        report = lint_trace(trace)
+        assert report.ok
+        assert any("parameters" in w for w in report.warnings)
+
+    def test_aliasing_is_an_error(self):
+        trace = TaskTrace(
+            "alias", [task(0, (0x1000, 256, "out")), task(1, (0x1080, 64, "in"))]
+        )
+        report = lint_trace(trace)
+        assert not report.ok
+        assert "error" in report.summary()
+
+
+class TestBuiltinGeneratorsLintClean:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: h264_wavefront_trace(rows=8, cols=8),
+            lambda: independent_trace(n_tasks=50),
+            lambda: vertical_chains_trace(rows=5, cols=9),
+            lambda: gaussian_trace(20),
+            lambda: cholesky_trace(5),
+            lambda: jacobi_stencil_trace(4, 3),
+            lambda: reduction_tree_trace(16),
+            lambda: pipeline_trace(10, 3),
+        ],
+        ids=[
+            "h264",
+            "independent",
+            "vertical",
+            "gaussian",
+            "cholesky",
+            "jacobi",
+            "reduction",
+            "pipeline",
+        ],
+    )
+    def test_no_aliasing_in_builtin_workloads(self, factory):
+        trace = factory()
+        assert find_aliasing(trace) == []
+        assert lint_trace(trace).ok
