@@ -32,8 +32,9 @@ from .config import (
     nexus_restricted,
     no_prep_delay,
     paper_default,
+    sharded_maestro,
 )
-from .machine import NexusMachine, RunResult, run_trace, speedup_curve
+from .machine import NexusMachine, RunResult, run_trace, shard_scaling_sweep, speedup_curve
 from .traces import (
     TaskTrace,
     gaussian_trace,
@@ -51,9 +52,11 @@ __all__ = [
     "contention_free",
     "no_prep_delay",
     "nexus_restricted",
+    "sharded_maestro",
     "NexusMachine",
     "run_trace",
     "speedup_curve",
+    "shard_scaling_sweep",
     "RunResult",
     "TaskTrace",
     "h264_wavefront_trace",

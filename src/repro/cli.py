@@ -4,7 +4,8 @@ Commands
 --------
 ``info``     print the machine configuration (the paper's Table IV)
 ``run``      simulate one workload on one machine and report the results
-``sweep``    speedup-vs-cores curve for a workload (Fig. 7/8 style)
+``sweep``    speedup-vs-cores curve for a workload (Fig. 7/8 style), or a
+             Maestro shard-scaling curve when ``--shards`` is given
 ``workloads``list the available workload generators
 ``validate`` check a saved trace file for well-formedness and graph stats
 
@@ -13,7 +14,9 @@ Examples::
     python -m repro info --workers 64
     python -m repro run h264 --workers 16
     python -m repro run gaussian --size 100 --workers 8 --no-contention
+    python -m repro run random --tasks 1000 --shards 4 --workers 16
     python -m repro sweep independent --cores 1,4,16,64
+    python -m repro sweep random --tasks 1500 --shards 1,2,4 --no-contention
     python -m repro run cholesky --tiles 6 --workers 8 --bottleneck
 """
 
@@ -25,7 +28,7 @@ from typing import Callable, Dict, Optional
 
 from .analysis import render_table
 from .config import SystemConfig
-from .machine import analyze_bottleneck, run_trace, speedup_curve
+from .machine import analyze_bottleneck, run_trace, shard_scaling_sweep, speedup_curve
 from .runtime.task_graph import build_task_graph
 from .traces import (
     TaskTrace,
@@ -37,6 +40,7 @@ from .traces import (
     independent_trace,
     jacobi_stencil_trace,
     pipeline_trace,
+    random_trace,
     reduction_tree_trace,
     vertical_chains_trace,
 )
@@ -85,6 +89,18 @@ WORKLOADS: Dict[str, tuple[Callable[[argparse.Namespace], TaskTrace], str]] = {
         lambda a: pipeline_trace(a.items or 64, a.stages or 4),
         "streaming pipeline (--items, --stages)",
     ),
+    "random": (
+        lambda a: random_trace(
+            n_tasks=a.tasks or 1000,
+            n_addresses=a.addresses or 96,
+            max_params=6,
+            seed=a.seed if a.seed is not None else 7,
+            mean_exec=4000,
+            mean_memory=200,
+        ),
+        "random hazard-dense tiny tasks; dependency-resolution bound "
+        "(--tasks, --addresses, --seed)",
+    ),
 }
 
 
@@ -98,14 +114,24 @@ def build_workload(name: str, args: argparse.Namespace) -> TaskTrace:
     return builder(args)
 
 
-def _config_from(args: argparse.Namespace) -> SystemConfig:
+def _config_from(
+    args: argparse.Namespace, shards: Optional[int] = None
+) -> SystemConfig:
     overrides = {"workers": args.workers}
     if getattr(args, "no_contention", False):
         overrides["memory_contention"] = False
+    if getattr(args, "no_prep", False):
+        overrides["task_prep_time"] = 0
     if getattr(args, "depth", None):
         overrides["buffering_depth"] = args.depth
     if getattr(args, "restricted", False):
         overrides["restricted"] = True
+    if shards is not None:
+        overrides["maestro_shards"] = shards
+    if getattr(args, "hop_ns", None) is not None:
+        from .sim import NS
+
+        overrides["shard_hop_time"] = args.hop_ns * NS
     return SystemConfig(**overrides)
 
 
@@ -119,17 +145,20 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--leaves", type=int, help="leaves (reduction)")
     p.add_argument("--items", type=int, help="items (pipeline)")
     p.add_argument("--stages", type=int, help="stages (pipeline)")
+    p.add_argument("--addresses", type=int, help="shared address pool (random)")
+    p.add_argument("--seed", type=int, help="trace RNG seed (random)")
 
 
 def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=16, help="worker cores")
     p.add_argument("--no-contention", action="store_true", help="contention-free memory")
+    p.add_argument("--no-prep", action="store_true", help="zero master task-prep time")
     p.add_argument("--depth", type=int, help="Task Controller buffering depth")
     p.add_argument("--restricted", action="store_true", help="original-Nexus limits")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    cfg = _config_from(args)
+    cfg = _config_from(args, shards=args.shards)
     print(render_table(["parameter", "value"], cfg.table_iv(), "System configuration"))
     return 0
 
@@ -142,7 +171,7 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args)
-    cfg = _config_from(args)
+    cfg = _config_from(args, shards=args.shards)
     print(trace.describe())
     result = run_trace(trace, cfg)
     print(result.summary())
@@ -163,17 +192,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"dummy entries {dep['dummy_entries_created']}, "
         f"longest kick-off list {dep['max_kickoff_waiters']}"
     )
+    shard_info = result.stats.get("shards")
+    if shard_info:
+        icn = shard_info["interconnect"]
+        print(
+            f"shards {shard_info['count']}: "
+            f"{icn['messages']} interconnect messages "
+            f"({icn['cross_shard_messages']} cross-shard, "
+            f"mean {icn['mean_hops']:.2f} hops), "
+            f"{shard_info['steals']} stolen dispatches"
+        )
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args)
+    if args.shards:
+        return _shard_sweep(trace, args)
     cfg = _config_from(args)
     cores = [int(c) for c in args.cores.split(",")]
     curve = speedup_curve(trace, cores, cfg)
     rows = [[c, round(s, 2), f"{s / c:.2f}"] for c, s in curve.rows()]
     print(render_table(["cores", "speedup", "efficiency"], rows, trace.name))
     print(f"saturation point: ~{curve.saturation_point()} cores")
+    if args.json:
+        _write_json(
+            args.json,
+            {
+                "trace": trace.name,
+                "rows": [
+                    {"cores": c, "speedup": round(s, 4)} for c, s in curve.rows()
+                ],
+            },
+        )
+    return 0
+
+
+def _write_json(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"report written to {path}")
+
+
+def _shard_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
+    """Maestro shard-scaling curve at a fixed worker count."""
+    shard_counts = [int(s) for s in args.shards.split(",")]
+    cfg = _config_from(args)
+    report = shard_scaling_sweep(trace, shard_counts, cfg)
+    rows = [
+        [
+            r["shards"],
+            f"{r['makespan_ps'] / 1e9:.4g}",
+            round(r["speedup_vs_baseline"], 2),
+            r["busiest_maestro_block"],
+            r["steals"],
+            r["cross_shard_messages"],
+        ]
+        for r in report.rows()
+    ]
+    speedup_col = f"speedup vs {report.baseline_shards} shard(s)"
+    print(
+        render_table(
+            ["shards", "makespan (ms)", speedup_col, "busiest block", "steals", "x-shard msgs"],
+            rows,
+            f"{trace.name} @ {cfg.workers} workers",
+        )
+    )
+    if args.json:
+        _write_json(args.json, report.to_json_dict())
     return 0
 
 
@@ -207,6 +295,8 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     p_info = sub.add_parser("info", help="print the Table IV configuration")
     _add_machine_args(p_info)
+    p_info.add_argument("--shards", type=int, default=None, help="Maestro shard count")
+    p_info.add_argument("--hop-ns", type=int, default=None, help="shard hop latency (ns)")
     p_info.set_defaults(func=_cmd_info)
 
     p_wl = sub.add_parser("workloads", help="list workload generators")
@@ -215,14 +305,25 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_run = sub.add_parser("run", help="simulate one workload")
     _add_workload_args(p_run)
     _add_machine_args(p_run)
+    p_run.add_argument("--shards", type=int, default=None, help="Maestro shard count")
+    p_run.add_argument("--hop-ns", type=int, default=None, help="shard hop latency (ns)")
     p_run.add_argument("--verify", action="store_true", help="check schedule legality")
     p_run.add_argument("--bottleneck", action="store_true", help="attribute the bottleneck")
     p_run.set_defaults(func=_cmd_run)
 
-    p_sweep = sub.add_parser("sweep", help="speedup curve over core counts")
+    p_sweep = sub.add_parser(
+        "sweep", help="speedup curve over core counts (or shard counts)"
+    )
     _add_workload_args(p_sweep)
     _add_machine_args(p_sweep)
     p_sweep.add_argument("--cores", default="1,2,4,8,16", help="comma-separated core counts")
+    p_sweep.add_argument(
+        "--shards",
+        default=None,
+        help="comma-separated Maestro shard counts; switches to a shard-scaling sweep",
+    )
+    p_sweep.add_argument("--hop-ns", type=int, default=None, help="shard hop latency (ns)")
+    p_sweep.add_argument("--json", default=None, help="write the shard report to a JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_val = sub.add_parser("validate", help="inspect a saved .npz trace")

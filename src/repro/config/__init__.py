@@ -6,6 +6,7 @@ from .presets import (
     nexus_restricted,
     no_prep_delay,
     paper_default,
+    sharded_maestro,
 )
 from .system_config import BUS_MODEL_FITTED, BUS_MODEL_FORMULA, SystemConfig
 
@@ -18,4 +19,5 @@ __all__ = [
     "no_prep_delay",
     "nexus_restricted",
     "fast_functional",
+    "sharded_maestro",
 ]

@@ -10,6 +10,7 @@ __all__ = [
     "no_prep_delay",
     "nexus_restricted",
     "fast_functional",
+    "sharded_maestro",
 ]
 
 
@@ -40,6 +41,17 @@ def nexus_restricted(workers: int = 16, **overrides) -> SystemConfig:
     """
     overrides.setdefault("buffering_depth", 1)
     return SystemConfig(workers=workers, restricted=True, **overrides)
+
+
+def sharded_maestro(shards: int = 4, workers: int = 16, **overrides) -> SystemConfig:
+    """Multi-Maestro machine: the Dependence Table hash-partitioned over
+    ``shards`` Maestro instances on a ring interconnect (beyond the paper).
+
+    The total Dependence Table capacity matches Table IV by default (each
+    shard owns ``4096 / shards`` entries); override
+    ``dependence_table_entries_per_shard`` to size shards independently.
+    """
+    return SystemConfig(workers=workers, maestro_shards=shards, **overrides)
 
 
 def fast_functional(workers: int = 4, **overrides) -> SystemConfig:

@@ -11,7 +11,7 @@ table the paper prints).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Optional
 
 from ..sim.time_units import NS
 
@@ -78,6 +78,25 @@ class SystemConfig:
     #: Worker Cores IDs list: 2 KB of 2-byte core IDs.
     worker_ids_list_entries: int = 1024
 
+    # ---- sharded Maestro --------------------------------------------------------
+    #: Number of Task Maestro shards.  1 reproduces the paper's single
+    #: Maestro; N > 1 hash-partitions the Dependence Table across N Maestro
+    #: instances joined by a ring interconnect (scatter/gather protocol).
+    maestro_shards: int = 1
+    #: Inter-Maestro interconnect latency per ring hop (picoseconds).
+    shard_hop_time: int = 4 * NS
+    #: Dependence Table entries owned by each shard.  ``None`` splits
+    #: ``dependence_table_entries`` evenly (ceiling) across the shards so the
+    #: total capacity stays comparable to the single-Maestro machine.
+    dependence_table_entries_per_shard: Optional[int] = None
+    #: Depth of each shard's check/finish message queues (scatter requests
+    #: queue here; a full inbox backpressures the sender).
+    shard_inbox_entries: int = 16
+    #: Run the sharded Maestro implementation even when ``maestro_shards``
+    #: is 1 (differential-testing switch; the production machine uses the
+    #: dedicated single-Maestro engine at 1 shard).
+    force_sharded_maestro: bool = False
+
     # ---- master core / on-chip bus ----------------------------------------------
     #: Task Descriptor preparation time on the master core (30 ns, §IV).
     task_prep_time: int = 30 * NS
@@ -136,6 +155,8 @@ class SystemConfig:
             ("memory_chunk_bytes", self.memory_chunk_bytes),
             ("memory_banks", self.memory_banks),
             ("memory_batch_chunks", self.memory_batch_chunks),
+            ("maestro_shards", self.maestro_shards),
+            ("shard_inbox_entries", self.shard_inbox_entries),
         ]
         for name, value in positive:
             if value <= 0:
@@ -158,6 +179,11 @@ class SystemConfig:
             )
         if self.core_gflops <= 0:
             raise ValueError("core_gflops must be positive")
+        if self.shard_hop_time < 0:
+            raise ValueError("shard_hop_time must be >= 0")
+        if self.dependence_table_entries_per_shard is not None:
+            if self.dependence_table_entries_per_shard < 1:
+                raise ValueError("dependence_table_entries_per_shard must be >= 1")
 
     # ---- derived quantities -----------------------------------------------------------
 
@@ -180,6 +206,18 @@ class SystemConfig:
     def dependence_table_bytes(self) -> int:
         """Dependence Table storage (Table IV: 112 KB for 4K entries)."""
         return self.dependence_table_entries * self.dt_entry_bytes
+
+    @property
+    def use_sharded_maestro(self) -> bool:
+        """True when the machine should wire the sharded Maestro subsystem."""
+        return self.maestro_shards > 1 or self.force_sharded_maestro
+
+    @property
+    def dt_entries_per_shard(self) -> int:
+        """Dependence Table capacity owned by each Maestro shard."""
+        if self.dependence_table_entries_per_shard is not None:
+            return self.dependence_table_entries_per_shard
+        return -(-self.dependence_table_entries // self.maestro_shards)
 
     @property
     def memory_bandwidth_bytes_per_s(self) -> float:
@@ -222,7 +260,22 @@ class SystemConfig:
         return replace(self, **changes)
 
     def table_iv(self) -> list[tuple[str, str]]:
-        """Render the configuration as the paper's Table IV rows."""
+        """Render the configuration as the paper's Table IV rows.
+
+        Sharded-Maestro machines (an extension beyond the paper) append
+        their extra geometry below the paper's rows.
+        """
+        extra: list[tuple[str, str]] = []
+        if self.use_sharded_maestro:
+            extra = [
+                ("Maestro shards", str(self.maestro_shards)),
+                ("Shard hop latency", f"{self.shard_hop_time / NS:g}ns"),
+                (
+                    "Dependence Table per shard",
+                    f"{self.dt_entries_per_shard} entries",
+                ),
+                ("Shard inbox depth", str(self.shard_inbox_entries)),
+            ]
         return [
             ("Cores clock freq.", f"{self.core_clock_hz / 1e9:g} GHz"),
             ("Nexus++ clock freq.", f"{self.nexus_clock_hz / 1e6:g} MHz"),
@@ -245,4 +298,4 @@ class SystemConfig:
             ("Kick-Off list size", f"{self.kickoff_list_size} task IDs"),
             ("Workers", str(self.workers)),
             ("Buffering depth", str(self.buffering_depth)),
-        ]
+        ] + extra

@@ -12,11 +12,13 @@ from .dependence_table import (
     Waiter,
     default_hash,
     kickoff_entries_needed,
+    shard_hash,
 )
 from .errors import CapacityError, HardwareError, ProtocolError
-from .fabric import Fabric
+from .fabric import Fabric, Interconnect
 from .master import MasterCore
 from .maestro import TaskMaestro
+from .sharded_maestro import ShardedMaestro
 from .memory import MemorySystem
 from .task_controller import TaskController
 from .task_pool import TaskPool, TPEntry, entries_needed
@@ -29,10 +31,13 @@ __all__ = [
     "DTEntry",
     "Waiter",
     "default_hash",
+    "shard_hash",
     "kickoff_entries_needed",
     "MemorySystem",
     "Fabric",
+    "Interconnect",
     "TaskMaestro",
+    "ShardedMaestro",
     "TaskController",
     "MasterCore",
     "CapacityError",

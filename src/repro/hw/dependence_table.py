@@ -32,7 +32,14 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .errors import CapacityError, ProtocolError
 
-__all__ = ["DependenceTable", "DTEntry", "Waiter", "default_hash", "kickoff_entries_needed"]
+__all__ = [
+    "DependenceTable",
+    "DTEntry",
+    "Waiter",
+    "default_hash",
+    "shard_hash",
+    "kickoff_entries_needed",
+]
 
 
 def default_hash(addr: int, n_entries: int) -> int:
@@ -43,6 +50,25 @@ def default_hash(addr: int, n_entries: int) -> int:
     the input and produce long chains for strided address patterns.
     """
     return (((addr >> 6) * 2654435761 & 0xFFFFFFFF) * n_entries) >> 32
+
+
+def shard_hash(addr: int, n_shards: int) -> int:
+    """Shard-partitioning hash: multiplicative like :func:`default_hash`
+    but with xor-shift pre/post mixing (Murmur3 finalizer constant).
+
+    The two levels must mix independently: reducing the *same* (or a
+    correlated) product twice — once for the shard, once for the shard
+    table's bucket — would map each shard's addresses onto a contiguous
+    ``1/n_shards`` slice of its own buckets, inflating hash chains exactly
+    on the sharded configurations being measured.  The xor-shifts
+    decorrelate the streams; in hardware they are free wire permutations
+    around one multiplier.
+    """
+    h = addr >> 6
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & 0xFFFFFFFF
+    h ^= h >> 13
+    return (h * n_shards) >> 32
 
 
 def kickoff_entries_needed(n_waiters: int, kickoff_size: int) -> int:

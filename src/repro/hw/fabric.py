@@ -5,20 +5,88 @@ between Task Maestro blocks and the per-core Task Controllers; this module
 is that diagram as a data structure.  The Maestro, Task Controllers and
 master core all receive the same :class:`Fabric` instance and communicate
 exclusively through it.
+
+Beyond the paper, the fabric can also be built **sharded**
+(``config.use_sharded_maestro``): the Dependence Table is hash-partitioned
+over ``maestro_shards`` Maestro instances joined by a ring
+:class:`Interconnect`, each shard owning its own table, table port, message
+inboxes, ready list and worker-core pool.  The single-Maestro structures
+and the sharded structures are mutually exclusive — a machine is wired one
+way or the other, so the paper-exact path is untouched by the extension.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..config import SystemConfig
 from ..sim import Fifo, Resource, Signal, Simulator
 from ..traces.trace import TaskTrace, TraceTask
-from .dependence_table import DependenceTable
+from .dependence_table import DependenceTable, shard_hash
 from .memory import MemorySystem
 from .task_pool import TaskPool
 
-__all__ = ["Fabric"]
+__all__ = ["Fabric", "Interconnect"]
+
+
+class Interconnect:
+    """Ring interconnect between Maestro shards with per-hop latency.
+
+    Messages are injected in program order and delivered in injection order
+    per destination (an in-order network); the ring-distance latency is
+    charged at the receiver, which waits until a message's stamped arrival
+    time before processing it.  ``message()`` wraps a payload with that
+    arrival stamp and records traffic statistics.
+    """
+
+    def __init__(self, sim: Simulator, n_shards: int, hop_time: int):
+        if n_shards < 1:
+            raise ValueError("interconnect needs at least one shard")
+        self.sim = sim
+        self.n_shards = n_shards
+        self.hop_time = hop_time
+        self.messages = 0
+        self.cross_shard_messages = 0
+        self.total_hops = 0
+
+    def distance(self, src: int, dst: int) -> int:
+        """Ring hop count between two shards (shortest direction)."""
+        d = abs(src - dst)
+        return min(d, self.n_shards - d)
+
+    def delay(self, src: int, dst: int) -> int:
+        """Flight time of a message from shard ``src`` to shard ``dst``."""
+        return self.distance(src, dst) * self.hop_time
+
+    def _account(self, src: int, dst: int, n_messages: int) -> int:
+        """Record ``n_messages`` between two shards; returns the hop count."""
+        hops = self.distance(src, dst)
+        self.messages += n_messages
+        if hops:
+            self.cross_shard_messages += n_messages
+            self.total_hops += n_messages * hops
+        return hops
+
+    def message(self, src: int, dst: int, payload) -> Tuple[int, object]:
+        """Stamp ``payload`` with its arrival time and count the traffic."""
+        hops = self._account(src, dst, 1)
+        return (self.sim.now + hops * self.hop_time, payload)
+
+    def charge_hop(self, src: int, dst: int) -> int:
+        """Latency of a one-way message whose flight the sender waits out."""
+        return self._account(src, dst, 1) * self.hop_time
+
+    def charge_round_trip(self, src: int, dst: int) -> int:
+        """Latency of a request/response pair (used by work stealing)."""
+        return 2 * self._account(src, dst, 2) * self.hop_time
+
+    def stats(self) -> dict:
+        return {
+            "messages": self.messages,
+            "cross_shard_messages": self.cross_shard_messages,
+            "total_hops": self.total_hops,
+            "mean_hops": self.total_hops / self.messages if self.messages else 0.0,
+        }
 
 
 class Fabric:
@@ -30,22 +98,30 @@ class Fabric:
         self.trace = trace
         cycle = config.nexus_cycle
 
+        #: Number of Maestro shards (1 = the paper's single Maestro).
+        self.n_shards = config.maestro_shards
+        #: True when the sharded Maestro subsystem is wired in.
+        self.sharded = config.use_sharded_maestro
+
         # ---- tables -------------------------------------------------------------
         self.task_pool = TaskPool(
             config.task_pool_entries, config.max_params_per_td, config.restricted
         )
-        self.dep_table = DependenceTable(
-            config.dependence_table_entries,
-            config.kickoff_list_size,
-            config.restricted,
-        )
         # Single-ported SRAMs: concurrent Maestro blocks arbitrate for access
         # (the paper's per-entry busy bits have the same effect).
         self.tp_port = Resource(sim, 1, name="tp-port")
-        self.dt_port = Resource(sim, 1, name="dt-port")
-        #: Raised by Handle Finished whenever Dependence Table slots free up,
-        #: so a stalled Check Deps can retry its allocation.
-        self.dt_freed = Signal(sim, name="dt-freed")
+        if not self.sharded:
+            self.dep_table = DependenceTable(
+                config.dependence_table_entries,
+                config.kickoff_list_size,
+                config.restricted,
+            )
+            self.dt_port = Resource(sim, 1, name="dt-port")
+            #: Raised by Handle Finished whenever Dependence Table slots free
+            #: up, so a stalled Check Deps can retry its allocation.
+            self.dt_freed = Signal(sim, name="dt-freed")
+        else:
+            self._build_shards()
 
         # ---- memory ---------------------------------------------------------------
         self.memory = MemorySystem(sim, config)
@@ -61,20 +137,59 @@ class Fabric:
         for idx in range(config.task_pool_entries):
             if not self.tp_free.try_put(idx):
                 raise ValueError("TP Free Indices list cannot hold all indices")
-        self.global_ready: Fifo = Fifo(
-            sim, config.global_ready_list_entries, "global-ready", track_occupancy=True
-        )
-        self.worker_ids: Fifo = Fifo(sim, config.worker_ids_list_entries, "worker-ids")
-        # "contains initially all worker cores IDs (repeated 'buffering
-        # depth' times)" — round-robin order so one pass hands every core a
-        # task before any core gets its second.
-        for _ in range(config.buffering_depth):
-            for core in range(config.workers):
-                if not self.worker_ids.try_put(core):
-                    raise ValueError(
-                        "Worker Cores IDs list too small for "
-                        f"{config.workers} workers x depth {config.buffering_depth}"
-                    )
+        if not self.sharded:
+            self.global_ready: Fifo = Fifo(
+                sim,
+                config.global_ready_list_entries,
+                "global-ready",
+                track_occupancy=True,
+            )
+            self.worker_ids: Fifo = Fifo(
+                sim, config.worker_ids_list_entries, "worker-ids"
+            )
+            # "contains initially all worker cores IDs (repeated 'buffering
+            # depth' times)" — round-robin order so one pass hands every core
+            # a task before any core gets its second.
+            for _ in range(config.buffering_depth):
+                for core in range(config.workers):
+                    if not self.worker_ids.try_put(core):
+                        raise ValueError(
+                            "Worker Cores IDs list too small for "
+                            f"{config.workers} workers x depth {config.buffering_depth}"
+                        )
+        else:
+            # Per-shard ready lists + worker pools: workers are assigned to
+            # shards round-robin (core -> core % n_shards), each repeated
+            # 'buffering depth' times as in the single-Maestro list.
+            self.shard_ready: List[Fifo] = [
+                Fifo(
+                    sim,
+                    config.global_ready_list_entries,
+                    f"s{s}-ready",
+                    track_occupancy=True,
+                )
+                for s in range(self.n_shards)
+            ]
+            #: One ticket per task sitting in some shard's ready list; the
+            #: payload is the home shard (a locality hint for stealing).
+            self.ready_tickets: Fifo = Fifo(
+                sim, config.task_pool_entries, "ready-tickets"
+            )
+            self.worker_pools: List[Fifo] = [
+                Fifo(
+                    sim,
+                    config.worker_ids_list_entries,
+                    f"s{s}-worker-ids",
+                )
+                for s in range(self.n_shards)
+            ]
+            for _ in range(config.buffering_depth):
+                for core in range(config.workers):
+                    if not self.worker_pools[core % self.n_shards].try_put(core):
+                        raise ValueError(
+                            "per-shard Worker Cores IDs list too small for "
+                            f"{config.workers} workers x depth {config.buffering_depth}"
+                        )
 
         # ---- per-core channels ----------------------------------------------------------
         depth = config.buffering_depth
@@ -87,12 +202,25 @@ class Fabric:
         self.td_channel: List[Fifo] = [
             Fifo(sim, 1, f"c{c}-td-link") for c in range(config.workers)
         ]
-        #: TD request lines into the Send TDs block (core, tp_head) pairs.
-        self.td_request: Fifo = Fifo(sim, config.workers * depth, "td-requests")
-        #: Task-finished notification lines into Handle Finished (core ids).
-        self.finished_notify: Fifo = Fifo(
-            sim, config.workers * depth, "finished-notify"
-        )
+        if not self.sharded:
+            #: TD request lines into the Send TDs block (core, tp_head) pairs.
+            self.td_request: Fifo = Fifo(sim, config.workers * depth, "td-requests")
+            #: Task-finished notification lines into Handle Finished (core ids).
+            self.finished_notify: Fifo = Fifo(
+                sim, config.workers * depth, "finished-notify"
+            )
+        else:
+            # Request/notification lines are point-to-point wires; in the
+            # sharded machine each worker core's lines terminate at its own
+            # shard's Send TDs / Handle Finished front-end.
+            self.td_request_shard: List[Fifo] = [
+                Fifo(sim, config.workers * depth, f"s{s}-td-requests")
+                for s in range(self.n_shards)
+            ]
+            self.finished_notify_shard: List[Fifo] = [
+                Fifo(sim, config.workers * depth, f"s{s}-finished-notify")
+                for s in range(self.n_shards)
+            ]
 
         # ---- task identity --------------------------------------------------------------
         #: TP head index -> in-flight trace task (index reuse is safe: an
@@ -112,6 +240,75 @@ class Fabric:
 
         self.on_chip = config.on_chip_access_time
         self.cycle = cycle
+
+    def _build_shards(self) -> None:
+        """Wire the sharded-Maestro structures (tables, ports, inboxes)."""
+        sim, config = self.sim, self.config
+        n = self.n_shards
+        self.icn = Interconnect(sim, n, config.shard_hop_time)
+        #: Hash-partitioned Dependence Table: shard ``shard_of(addr)`` owns
+        #: every entry for ``addr``.
+        self.dep_shards: List[DependenceTable] = [
+            DependenceTable(
+                config.dt_entries_per_shard,
+                config.kickoff_list_size,
+                config.restricted,
+            )
+            for _ in range(n)
+        ]
+        self.dt_ports: List[Resource] = [
+            Resource(sim, 1, name=f"s{s}-dt-port") for s in range(n)
+        ]
+        self.dt_freed_shard: List[Signal] = [
+            Signal(sim, name=f"s{s}-dt-freed") for s in range(n)
+        ]
+        # Scatter/gather message queues.  Check and finish requests travel
+        # on separate virtual channels so a check stalled on a full shard
+        # table can never block the finish traffic that will free it.
+        depth = config.shard_inbox_entries
+        self.check_inbox: List[Fifo] = [
+            Fifo(sim, depth, f"s{s}-check-inbox") for s in range(n)
+        ]
+        self.finish_inbox: List[Fifo] = [
+            Fifo(sim, depth, f"s{s}-finish-inbox") for s in range(n)
+        ]
+        # Gather channels are sized for every in-flight parameter so a
+        # reply can always be posted (no retirement deadlock).
+        reply_cap = config.task_pool_entries * config.max_params_per_td
+        self.reply_inbox: List[Fifo] = [
+            Fifo(sim, reply_cap, f"s{s}-check-replies") for s in range(n)
+        ]
+        self.retire_inbox: List[Fifo] = [
+            Fifo(sim, reply_cap, f"s{s}-finish-replies") for s in range(n)
+        ]
+        #: TP head index -> home shard of the in-flight task's descriptor.
+        self.home_of: Dict[int, int] = {}
+
+    # ---- shard routing ---------------------------------------------------------
+
+    def shard_of(self, addr: int) -> int:
+        """Owning Maestro shard of an address (same multiplicative hash
+        family as the Dependence Table, mixed with a different constant so
+        partitioning stays independent of each shard's bucket hashing)."""
+        if self.n_shards == 1:
+            return 0
+        return shard_hash(addr, self.n_shards)
+
+    def core_shard(self, core: int) -> int:
+        """Maestro shard a worker core's request/notify lines terminate at."""
+        return core % self.n_shards
+
+    def td_request_fifo(self, core: int) -> Fifo:
+        """Where a Task Controller posts its TD requests."""
+        if self.sharded:
+            return self.td_request_shard[self.core_shard(core)]
+        return self.td_request
+
+    def notify_fifo(self, core: int) -> Fifo:
+        """Where a Task Controller raises its task-finished line."""
+        if self.sharded:
+            return self.finished_notify_shard[self.core_shard(core)]
+        return self.finished_notify
 
     def task_of(self, head: int) -> TraceTask:
         return self.inflight[head]

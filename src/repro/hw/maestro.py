@@ -35,7 +35,63 @@ from ..scoreboard import Scoreboard
 from ..sim import BusyTracker
 from .fabric import Fabric
 
-__all__ = ["TaskMaestro"]
+__all__ = ["TaskMaestro", "write_tp_block", "send_tds_block"]
+
+
+def write_tp_block(fab: Fabric, scoreboard: Scoreboard, busy: BusyTracker,
+                   n_shards: int | None = None):
+    """The Write TP block body, shared by the single and sharded Maestros.
+
+    The timing model lives here once: any change to it reaches both
+    machines, which the shard differential tests compare against each
+    other.  ``n_shards`` is set only by the sharded Maestro, which also
+    assigns each stored task a home shard (round-robin by task id).
+    """
+    sim = fab.sim
+    while True:
+        task = yield fab.tds_buffer.get()
+        busy.begin()
+        # Reading the TDs Sizes entry and the TDs Buffer costs a cycle.
+        yield sim.timeout(fab.cycle)
+        need = fab.task_pool.entries_for(task)  # CapacityError if restricted
+        indices = []
+        for _ in range(need):
+            idx = yield fab.tp_free.get()
+            indices.append(idx)
+        yield fab.tp_port.acquire()
+        head, accesses = fab.task_pool.store(task, indices)
+        fab.task_pool.begin_check(head)
+        yield sim.timeout(accesses * fab.on_chip)
+        fab.tp_port.release()
+        fab.inflight[head] = task
+        if n_shards is not None:
+            fab.home_of[head] = task.tid % n_shards
+        scoreboard.records[task.tid].stored = sim.now
+        busy.end()
+        yield fab.new_tasks.put(head)
+
+
+def send_tds_block(fab: Fabric, request_fifo, busy: BusyTracker):
+    """The Send TDs block body, shared by the single and sharded Maestros.
+
+    ``request_fifo`` is the TD request line the block serves: the global
+    one in the single-Maestro machine, a shard's own in the sharded one.
+    """
+    sim = fab.sim
+    cfg = fab.config
+    while True:
+        core, head = yield request_fifo.get()
+        busy.begin()
+        yield sim.timeout(fab.cycle)  # request-line arbitration
+        yield fab.tp_port.acquire()
+        params, accesses = fab.task_pool.read_params(head)
+        yield sim.timeout(accesses * fab.on_chip)
+        fab.tp_port.release()
+        # Stream the descriptor (function pointer word + parameters).
+        yield sim.timeout(cfg.td_transfer_time(len(params)))
+        busy.end()
+        yield fab.fin_fifo[core].put(head)
+        yield fab.td_channel[core].put(head)
 
 
 class TaskMaestro:
@@ -68,27 +124,7 @@ class TaskMaestro:
     # ---- Write TP ---------------------------------------------------------------
 
     def _write_tp(self):
-        fab = self.fabric
-        sim = fab.sim
-        while True:
-            task = yield fab.tds_buffer.get()
-            self.busy["write_tp"].begin()
-            # Reading the TDs Sizes entry and the TDs Buffer costs a cycle.
-            yield sim.timeout(fab.cycle)
-            need = fab.task_pool.entries_for(task)  # CapacityError if restricted
-            indices = []
-            for _ in range(need):
-                idx = yield fab.tp_free.get()
-                indices.append(idx)
-            yield fab.tp_port.acquire()
-            head, accesses = fab.task_pool.store(task, indices)
-            fab.task_pool.begin_check(head)
-            yield sim.timeout(accesses * fab.on_chip)
-            fab.tp_port.release()
-            fab.inflight[head] = task
-            self.scoreboard.records[task.tid].stored = sim.now
-            self.busy["write_tp"].end()
-            yield fab.new_tasks.put(head)
+        return write_tp_block(self.fabric, self.scoreboard, self.busy["write_tp"])
 
     # ---- Check Deps (Listing 2) ----------------------------------------------------
 
@@ -146,22 +182,7 @@ class TaskMaestro:
     # ---- Send TDs -----------------------------------------------------------------------
 
     def _send_tds(self):
-        fab = self.fabric
-        sim = fab.sim
-        cfg = fab.config
-        while True:
-            core, head = yield fab.td_request.get()
-            self.busy["send_tds"].begin()
-            yield sim.timeout(fab.cycle)  # request-line arbitration
-            yield fab.tp_port.acquire()
-            params, accesses = fab.task_pool.read_params(head)
-            yield sim.timeout(accesses * fab.on_chip)
-            fab.tp_port.release()
-            # Stream the descriptor (function pointer word + parameters).
-            yield sim.timeout(cfg.td_transfer_time(len(params)))
-            self.busy["send_tds"].end()
-            yield fab.fin_fifo[core].put(head)
-            yield fab.td_channel[core].put(head)
+        return send_tds_block(self.fabric, self.fabric.td_request, self.busy["send_tds"])
 
     # ---- Handle Finished --------------------------------------------------------------------
 

@@ -1,0 +1,335 @@
+"""The sharded Task Maestro: N dependence-resolution engines on a ring.
+
+The paper's single Task Maestro serializes every Dependence Table probe and
+every kick-off through one hardware block; it is the scalability ceiling of
+Nexus++.  This module models the obvious (but unexplored in the paper)
+next step: ``maestro_shards`` Maestro instances, each owning a
+hash-partitioned shard of the Dependence Table, joined by a ring
+interconnect with per-hop latency (:class:`~repro.hw.fabric.Interconnect`).
+
+Protocol
+--------
+* **Write TP** (one instance) — unchanged from the single Maestro: pulls
+  Task Descriptors off the TDs Buffer into the (still central) Task Pool,
+  and assigns each task a *home shard* round-robin by task id.
+* **Check Scatter** (one instance) — the program-order sequencer.  Pops the
+  New Tasks list in submission order and injects one dependence-check
+  message per parameter into the owning shard's check inbox, one message
+  per Nexus cycle.  Because injection is in program order and the
+  interconnect delivers in order per destination, every shard observes the
+  checks for its addresses in program order — the invariant that makes the
+  distributed Dependence Table equivalent to the central one.
+* **Check engine** (per shard) — services its check inbox: probes the
+  shard's Dependence Table slice exactly as Listing 2, bumps the waiter's
+  Dependence Counter in the Task Pool on a hazard, and posts a reply to the
+  home shard's gather unit.
+* **Gather** (per shard) — counts check replies per task; when the last
+  parameter's reply arrives it closes the check (the Task Pool busy flag,
+  as in the single Maestro) and pushes ready tasks onto the *home shard's*
+  ready list.
+* **Schedule** (per shard) — pairs ready tasks with the shard's worker
+  cores (workers are partitioned round-robin across shards).  An idle
+  shard *steals*: a scheduler holding a free core consumes a global ready
+  ticket and may pop another shard's ready list, paying a round trip on
+  the interconnect.  Tickets are produced once per enqueued ready task, so
+  a consumed ticket always finds a task somewhere — stealing cannot
+  deadlock or spin.
+* **Send TDs** (per shard) — each shard streams Task Descriptors to its own
+  workers over its own link (the single Maestro's one shared bus becomes
+  one bus per shard).
+* **Retire front-end / Finish engine** (per shard) — a finished task's
+  parameters scatter to their owning shards; each finish engine updates its
+  table slice, kicks off released waiters (forwarding ready tasks to their
+  home shards) and replies; the front-end gathers the replies, then frees
+  the Task Pool chain and recycles the worker core.
+
+With ``maestro_shards=1`` this protocol is a pipelined refinement of the
+single Maestro (scatter/gather stages are explicit), not a cycle-exact
+reproduction of it — the production machine therefore keeps the dedicated
+:class:`~repro.hw.maestro.TaskMaestro` at one shard, and the differential
+tests pin both the one-shard equivalence of that engine and the schedule
+legality of this one at every shard count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..scoreboard import Scoreboard
+from ..sim import BusyTracker
+from .fabric import Fabric
+from .maestro import send_tds_block, write_tp_block
+
+__all__ = ["ShardedMaestro"]
+
+
+class ShardedMaestro:
+    """Owns and starts the sharded Maestro block processes."""
+
+    #: Central blocks (one process each).
+    CENTRAL_BLOCKS = ("write_tp", "scatter")
+    #: Per-shard blocks (one process per shard each).
+    SHARD_BLOCKS = ("check", "gather", "schedule", "send_tds", "finish", "retire")
+
+    def __init__(self, fabric: Fabric, scoreboard: Scoreboard):
+        if not fabric.sharded:
+            raise ValueError("ShardedMaestro needs a sharded fabric")
+        self.fabric = fabric
+        self.scoreboard = scoreboard
+        self.n_shards = fabric.n_shards
+        self.retired = 0
+        #: Ready tasks dispatched by a shard other than their home shard.
+        self.steals = 0
+        sim = fabric.sim
+        self.busy: Dict[str, BusyTracker] = {
+            name: BusyTracker(sim) for name in self.CENTRAL_BLOCKS
+        }
+        for s in range(self.n_shards):
+            for name in self.SHARD_BLOCKS:
+                self.busy[f"s{s}.{name}"] = BusyTracker(sim)
+
+    def utilization(self, span: int) -> dict:
+        """Fraction of ``span`` each Maestro block spent occupied."""
+        return {name: t.utilization(span) for name, t in self.busy.items()}
+
+    def start(self) -> None:
+        sim = self.fabric.sim
+        sim.process(self._write_tp(), name="smaestro.write-tp")
+        sim.process(self._check_scatter(), name="smaestro.check-scatter")
+        for s in range(self.n_shards):
+            sim.process(self._check_engine(s), name=f"smaestro.s{s}.check")
+            sim.process(self._gather(s), name=f"smaestro.s{s}.gather")
+            sim.process(self._schedule(s), name=f"smaestro.s{s}.schedule")
+            sim.process(self._send_tds(s), name=f"smaestro.s{s}.send-tds")
+            sim.process(self._finish_engine(s), name=f"smaestro.s{s}.finish")
+            sim.process(self._retire_frontend(s), name=f"smaestro.s{s}.retire")
+
+    # ---- receive helper --------------------------------------------------------
+
+    def _recv(self, inbox):
+        """Pop a stamped interconnect message; wait out its flight time."""
+        sim = self.fabric.sim
+        arrive_at, payload = yield inbox.get()
+        if arrive_at > sim.now:
+            yield sim.timeout(arrive_at - sim.now)
+        return payload
+
+    # ---- Write TP (central, shared body with the single Maestro) -----------------
+
+    def _write_tp(self):
+        return write_tp_block(
+            self.fabric, self.scoreboard, self.busy["write_tp"], self.n_shards
+        )
+
+    # ---- Check Scatter (central program-order sequencer) --------------------------
+
+    def _check_scatter(self):
+        fab = self.fabric
+        sim = fab.sim
+        while True:
+            head = yield fab.new_tasks.get()
+            self.busy["scatter"].begin()
+            task = fab.task_of(head)
+            home = fab.home_of[head]
+            n = task.n_params
+            for param in task.params:
+                owner = fab.shard_of(param.addr)
+                # One message injected per Nexus cycle; a full inbox
+                # backpressures the whole scatter (in-order network).
+                yield sim.timeout(fab.cycle)
+                msg = fab.icn.message(home, owner, (head, home, param, n))
+                yield fab.check_inbox[owner].put(msg)
+            self.busy["scatter"].end()
+
+    # ---- Check engine (per shard; Listing 2 on the shard's table slice) -----------
+
+    def _check_engine(self, s: int):
+        fab = self.fabric
+        sim = fab.sim
+        table = fab.dep_shards[s]
+        busy = self.busy[f"s{s}.check"]
+        while True:
+            head, home, param, n = yield from self._recv(fab.check_inbox[s])
+            busy.begin()
+            # A parameter may need a fresh slot in this shard's table slice;
+            # stall until this shard's finish engine frees space.
+            while table.free_slots == 0:
+                fab.dt_freed_shard[s].clear()
+                yield fab.dt_freed_shard[s].wait()
+            yield fab.dt_ports[s].acquire()
+            blocked, accesses = table.check_param(
+                head, param.addr, param.size, param.mode.reads, param.mode.writes
+            )
+            yield sim.timeout(accesses * fab.on_chip)
+            fab.dt_ports[s].release()
+            if blocked:
+                yield fab.tp_port.acquire()
+                fab.task_pool.add_dependence(head)
+                yield sim.timeout(fab.on_chip)
+                fab.tp_port.release()
+            busy.end()
+            yield fab.reply_inbox[home].put(fab.icn.message(s, home, (head, n)))
+
+    # ---- Gather (per shard; closes the check once all replies are in) --------------
+
+    def _gather(self, s: int):
+        fab = self.fabric
+        sim = fab.sim
+        busy = self.busy[f"s{s}.gather"]
+        pending: Dict[int, int] = {}
+        while True:
+            head, n = yield from self._recv(fab.reply_inbox[s])
+            left = pending.get(head, n) - 1
+            if left:
+                pending[head] = left
+                continue
+            pending.pop(head, None)
+            busy.begin()
+            yield fab.tp_port.acquire()
+            ready = fab.task_pool.finish_check(head)
+            yield sim.timeout(fab.on_chip)
+            fab.tp_port.release()
+            busy.end()
+            if ready:
+                task = fab.task_of(head)
+                self.scoreboard.records[task.tid].ready = sim.now
+                yield fab.shard_ready[s].put(head)
+                yield fab.ready_tickets.put(s)
+
+    # ---- Schedule (per shard, with idle-shard stealing) ----------------------------
+
+    def _schedule(self, s: int):
+        fab = self.fabric
+        sim = fab.sim
+        busy = self.busy[f"s{s}.schedule"]
+        n = self.n_shards
+        while True:
+            # Claim a free worker core first: only an idle shard pulls work,
+            # which is what makes the ticket consumption a steal request.
+            core = yield fab.worker_pools[s].get()
+            hint = yield fab.ready_tickets.get()
+            victim = s
+            head = fab.shard_ready[s].try_get()
+            if head is None:
+                victim = hint
+                head = fab.shard_ready[hint].try_get()
+            offset = 1
+            while head is None:
+                # A consumed ticket guarantees a queued task somewhere.
+                victim = (s + offset) % n
+                head = fab.shard_ready[victim].try_get()
+                offset += 1
+            busy.begin()
+            if victim != s:
+                self.steals += 1
+                yield sim.timeout(fab.icn.charge_round_trip(s, victim))
+            yield sim.timeout(2 * fab.cycle)  # pop both lists, push one
+            task = fab.task_of(head)
+            record = self.scoreboard.records[task.tid]
+            record.dispatched = sim.now
+            record.core = core
+            busy.end()
+            yield fab.rdy_fifo[core].put(head)
+
+    # ---- Send TDs (per shard: one TD link per shard's workers) ---------------------
+
+    def _send_tds(self, s: int):
+        return send_tds_block(
+            self.fabric, self.fabric.td_request_shard[s], self.busy[f"s{s}.send_tds"]
+        )
+
+    # ---- Retire front-end (per shard: scatter finishes, gather, free) --------------
+
+    def _retire_frontend(self, s: int):
+        fab = self.fabric
+        sim = fab.sim
+        busy = self.busy[f"s{s}.retire"]
+        while True:
+            core = yield fab.finished_notify_shard[s].get()
+            busy.begin()
+            yield sim.timeout(fab.cycle)  # observe + acknowledge the 1-bit line
+            head = yield fab.fin_fifo[core].get()
+            task = fab.task_of(head)
+            yield fab.tp_port.acquire()
+            params, accesses = fab.task_pool.read_params(head)
+            yield sim.timeout(accesses * fab.on_chip)
+            fab.tp_port.release()
+            for param in params:
+                owner = fab.shard_of(param.addr)
+                yield sim.timeout(fab.cycle)
+                msg = fab.icn.message(s, owner, (head, s, param))
+                yield fab.finish_inbox[owner].put(msg)
+            # One finish in flight per shard, so every reply in this inbox
+            # belongs to the task being retired.
+            for _ in params:
+                yield from self._recv(fab.retire_inbox[s])
+            yield fab.tp_port.acquire()
+            freed, accesses = fab.task_pool.free_chain(head)
+            yield sim.timeout(accesses * fab.on_chip)
+            fab.tp_port.release()
+            del fab.inflight[head]
+            del fab.home_of[head]
+            for idx in freed:
+                yield fab.tp_free.put(idx)
+            busy.end()
+            yield fab.worker_pools[fab.core_shard(core)].put(core)
+            self.retired += 1
+            self.scoreboard.note_completed(task.tid, sim.now)
+
+    # ---- Finish engine (per shard: table update + kick-offs) -----------------------
+
+    def _finish_engine(self, s: int):
+        fab = self.fabric
+        sim = fab.sim
+        table = fab.dep_shards[s]
+        busy = self.busy[f"s{s}.finish"]
+        while True:
+            head, src, param = yield from self._recv(fab.finish_inbox[s])
+            busy.begin()
+            yield fab.dt_ports[s].acquire()
+            kicked, accesses = table.finish_param(
+                head, param.addr, param.mode.reads, param.mode.writes
+            )
+            yield sim.timeout(accesses * fab.on_chip)
+            fab.dt_ports[s].release()
+            fab.dt_freed_shard[s].set()
+            for waiter_head in kicked:
+                yield fab.tp_port.acquire()
+                became_ready = fab.task_pool.resolve_dependence(waiter_head)
+                yield sim.timeout(fab.on_chip)
+                fab.tp_port.release()
+                if became_ready:
+                    home = fab.home_of[waiter_head]
+                    waiter_task = fab.task_of(waiter_head)
+                    self.scoreboard.records[waiter_task.tid].ready = sim.now
+                    if home != s:
+                        # The ready task id travels to its home shard.
+                        yield sim.timeout(fab.icn.charge_hop(s, home))
+                    yield fab.shard_ready[home].put(waiter_head)
+                    yield fab.ready_tickets.put(home)
+            busy.end()
+            yield fab.retire_inbox[src].put(fab.icn.message(s, src, head))
+
+    # ---- aggregate statistics ------------------------------------------------------
+
+    def dep_table_stats(self) -> dict:
+        """Merged Dependence Table statistics across all shards."""
+        per_shard = [t.stats() for t in self.fabric.dep_shards]
+        merged = {
+            "occupied": sum(s["occupied"] for s in per_shard),
+            "high_water": sum(s["high_water"] for s in per_shard),
+            "max_hash_chain": max(s["max_hash_chain"] for s in per_shard),
+            "max_kickoff_entries": max(s["max_kickoff_entries"] for s in per_shard),
+            "max_kickoff_waiters": max(s["max_kickoff_waiters"] for s in per_shard),
+            "dummy_entries_created": sum(
+                s["dummy_entries_created"] for s in per_shard
+            ),
+        }
+        lookups = sum(t.total_lookups for t in self.fabric.dep_shards)
+        probes = sum(t.total_probes for t in self.fabric.dep_shards)
+        merged["mean_probes"] = probes / lookups if lookups else 0.0
+        return merged
+
+    def shard_stats(self) -> list:
+        """Per-shard table statistics (load-balance diagnostics)."""
+        return [t.stats() for t in self.fabric.dep_shards]

@@ -57,7 +57,8 @@ class TaskController:
         while True:
             head = yield fab.rdy_fifo[c].get()
             # Raise the request line; Send TDs answers over the TD link.
-            yield fab.td_request.put((c, head))
+            # (In a sharded machine the line terminates at this core's shard.)
+            yield fab.td_request_fifo(c).put((c, head))
             got = yield fab.td_channel[c].get()
             if got != head:
                 raise RuntimeError(
@@ -97,4 +98,4 @@ class TaskController:
             task = fab.task_of(head)
             yield from fab.memory.transfer(task.write_time)
             self.scoreboard.records[task.tid].writeback_end = fab.sim.now
-            yield fab.finished_notify.put(c)
+            yield fab.notify_fifo(c).put(c)

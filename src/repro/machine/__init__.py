@@ -3,7 +3,13 @@
 from .bottleneck import BottleneckReport, analyze_bottleneck
 from .machine import NexusMachine, run_trace
 from .results import RunResult, Scoreboard, TaskRecord
-from .sweep import SpeedupCurve, speedup_curve, sweep_parameter
+from .sweep import (
+    ShardScalingReport,
+    SpeedupCurve,
+    shard_scaling_sweep,
+    speedup_curve,
+    sweep_parameter,
+)
 
 __all__ = [
     "NexusMachine",
@@ -14,6 +20,8 @@ __all__ = [
     "SpeedupCurve",
     "speedup_curve",
     "sweep_parameter",
+    "ShardScalingReport",
+    "shard_scaling_sweep",
     "BottleneckReport",
     "analyze_bottleneck",
 ]

@@ -23,6 +23,7 @@ from ..hw.errors import CapacityError
 from ..hw.fabric import Fabric
 from ..hw.master import MasterCore
 from ..hw.maestro import TaskMaestro
+from ..hw.sharded_maestro import ShardedMaestro
 from ..hw.task_controller import TaskController
 from ..sim import DeadlockError, ProcessError, Simulator
 from ..traces.trace import TaskTrace
@@ -52,7 +53,12 @@ class NexusMachine:
         scoreboard = Scoreboard(len(trace))
 
         master = MasterCore(fabric, scoreboard)
-        maestro = TaskMaestro(fabric, scoreboard)
+        # One shard keeps the paper-exact single-Maestro engine; more shards
+        # (or the differential-testing force switch) wire the sharded one.
+        if fabric.sharded:
+            maestro = ShardedMaestro(fabric, scoreboard)
+        else:
+            maestro = TaskMaestro(fabric, scoreboard)
         controllers = [
             TaskController(core, fabric, scoreboard) for core in range(cfg.workers)
         ]
@@ -82,16 +88,30 @@ class NexusMachine:
         # Post-conditions: the machine drained completely.
         if scoreboard.all_done:
             assert fabric.task_pool.is_empty, "Task Pool not empty after run"
-            assert fabric.dep_table.is_empty, "Dependence Table not empty after run"
+            if fabric.sharded:
+                for s, table in enumerate(fabric.dep_shards):
+                    assert table.is_empty, f"DT shard {s} not empty after run"
+            else:
+                assert fabric.dep_table.is_empty, "Dependence Table not empty after run"
             assert not fabric.inflight, "in-flight map not empty after run"
 
         span = max(1, scoreboard.last_completion)
+        if fabric.sharded:
+            dep_stats = maestro.dep_table_stats()
+            ready_stat = sum(
+                (f.stat.mean() if f.stat else 0.0) for f in fabric.shard_ready
+            )
+        else:
+            dep_stats = fabric.dep_table.stats()
+            ready_stat = (
+                fabric.global_ready.stat.mean() if fabric.global_ready.stat else 0.0
+            )
         stats = {
             "maestro_utilization": maestro.utilization(span),
             "worker_busy_fraction": [
                 tc.busy.utilization(span) for tc in controllers
             ],
-            "dep_table": fabric.dep_table.stats(),
+            "dep_table": dep_stats,
             "task_pool": {
                 "high_water": fabric.task_pool.high_water,
                 "dummy_tasks_created": fabric.task_pool.dummy_tasks_created,
@@ -101,11 +121,16 @@ class NexusMachine:
             "tds_buffer_mean_occupancy": (
                 fabric.tds_buffer.stat.mean() if fabric.tds_buffer.stat else 0.0
             ),
-            "global_ready_mean_occupancy": (
-                fabric.global_ready.stat.mean() if fabric.global_ready.stat else 0.0
-            ),
+            "global_ready_mean_occupancy": ready_stat,
             "tasks_per_core": [tc.tasks_run for tc in controllers],
         }
+        if fabric.sharded:
+            stats["shards"] = {
+                "count": fabric.n_shards,
+                "interconnect": fabric.icn.stats(),
+                "steals": maestro.steals,
+                "per_shard_dep_table": maestro.shard_stats(),
+            }
         return RunResult(
             trace_name=trace.name,
             workers=cfg.workers,
@@ -120,6 +145,7 @@ class NexusMachine:
                 "task_pool_entries": cfg.task_pool_entries,
                 "dependence_table_entries": cfg.dependence_table_entries,
                 "restricted": cfg.restricted,
+                "maestro_shards": cfg.maestro_shards,
             },
         )
 

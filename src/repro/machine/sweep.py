@@ -15,7 +15,13 @@ from ..traces.trace import TaskTrace
 from .machine import NexusMachine
 from .results import RunResult
 
-__all__ = ["SpeedupCurve", "speedup_curve", "sweep_parameter"]
+__all__ = [
+    "SpeedupCurve",
+    "speedup_curve",
+    "sweep_parameter",
+    "ShardScalingReport",
+    "shard_scaling_sweep",
+]
 
 
 @dataclass
@@ -81,6 +87,99 @@ def speedup_curve(
         core_counts=list(core_counts),
         speedups=speedups,
         baseline=baseline,
+        runs=runs,
+    )
+
+
+@dataclass
+class ShardScalingReport:
+    """Makespan vs Maestro shard count at a fixed worker count.
+
+    Speedups are measured against the 1-shard machine (the paper-exact
+    single Maestro), answering the design-space question the paper could
+    not ask: how far does hardware dependency resolution scale when the
+    Dependence Table itself is partitioned?
+    """
+
+    trace_name: str
+    workers: int
+    shard_counts: List[int]
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def makespans(self) -> List[int]:
+        return [r.makespan for r in self.runs]
+
+    @property
+    def baseline_shards(self) -> int:
+        """Shard count speedups are measured against: 1 when the sweep
+        includes the single-Maestro machine, else the smallest count run
+        (the report labels the baseline explicitly either way)."""
+        return 1 if 1 in self.shard_counts else min(self.shard_counts)
+
+    @property
+    def speedups(self) -> List[float]:
+        base = self.runs[self.shard_counts.index(self.baseline_shards)]
+        return [base.makespan / r.makespan for r in self.runs]
+
+    def at(self, shards: int) -> RunResult:
+        return self.runs[self.shard_counts.index(shards)]
+
+    def rows(self) -> List[dict]:
+        """One report row per shard count (used by the CLI and the bench)."""
+        out = []
+        for shards, run, speedup in zip(self.shard_counts, self.runs, self.speedups):
+            util = run.stats.get("maestro_utilization", {})
+            shard_info = run.stats.get("shards", {})
+            icn = shard_info.get("interconnect", {})
+            out.append(
+                {
+                    "shards": shards,
+                    "makespan_ps": run.makespan,
+                    "speedup_vs_baseline": round(speedup, 4),
+                    "busiest_maestro_block": (
+                        max(util, key=util.get) if util else None
+                    ),
+                    "busiest_block_utilization": (
+                        round(max(util.values()), 4) if util else None
+                    ),
+                    "interconnect_messages": icn.get("messages", 0),
+                    "cross_shard_messages": icn.get("cross_shard_messages", 0),
+                    "steals": shard_info.get("steals", 0),
+                }
+            )
+        return out
+
+    def to_json_dict(self) -> dict:
+        return {
+            "trace": self.trace_name,
+            "workers": self.workers,
+            "baseline_shards": self.baseline_shards,
+            "rows": self.rows(),
+        }
+
+
+def shard_scaling_sweep(
+    trace: TaskTrace,
+    shard_counts: Sequence[int],
+    config: Optional[SystemConfig] = None,
+) -> ShardScalingReport:
+    """Run ``trace`` once per Maestro shard count (same workers throughout).
+
+    ``shards=1`` uses the paper-exact single-Maestro engine, so the curve's
+    baseline is the machine the paper measured; every other point uses the
+    sharded subsystem.
+    """
+    if not shard_counts:
+        raise ValueError("need at least one shard count")
+    base = config or SystemConfig()
+    runs = [
+        NexusMachine(base.with_(maestro_shards=s)).run(trace) for s in shard_counts
+    ]
+    return ShardScalingReport(
+        trace_name=trace.name,
+        workers=base.workers,
+        shard_counts=list(shard_counts),
         runs=runs,
     )
 

@@ -103,6 +103,27 @@ class Fifo:
         self._note()
         return True
 
+    def try_get(self) -> Any:
+        """Non-blocking get; returns the head item or ``None`` when empty.
+
+        Used by arbiters that scan several FIFOs (the sharded Maestro's
+        work-stealing schedulers).  The modelled hardware lists never carry
+        ``None`` payloads, so the sentinel is unambiguous.
+        """
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                putter, pending = self._putters.popleft()
+                self._items.append(pending)
+                self._sim._schedule(self._sim.now, putter._resume, None)
+            self._note()
+            return item
+        if self._putters:
+            putter, pending = self._putters.popleft()
+            self._sim._schedule(self._sim.now, putter._resume, None)
+            return pending
+        return None
+
     def __len__(self) -> int:
         return len(self._items)
 

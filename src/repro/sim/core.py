@@ -101,8 +101,7 @@ class Process(Waitable):
             self._finish(stop.value)
             return
         except Exception as exc:  # surface with process context
-            self.alive = False
-            self.sim._live_processes -= 1
+            self._kill()
             raise ProcessError(self.name, self.sim.now, exc) from exc
         self._wait_for(target)
 
@@ -117,14 +116,19 @@ class Process(Waitable):
             self._finish(stop.value)
             return
         except Exception as err:
-            if err is exc:
-                # The process did not handle it: terminate the process and
-                # propagate out of the simulator loop.
-                self.alive = False
-                self.sim._live_processes -= 1
-                raise ProcessError(self.name, self.sim.now, err) from err
+            # The process either did not handle the injected exception or
+            # raised a new one while handling it: it is dead either way, so
+            # take it out of the live count and the deadlock registry before
+            # propagating out of the simulator loop.
+            self._kill()
             raise ProcessError(self.name, self.sim.now, err) from err
         self._wait_for(target)
+
+    def _kill(self) -> None:
+        """Terminate the process after an escaped exception."""
+        self.alive = False
+        self.sim._live_processes -= 1
+        self.sim._forget(self)
 
     def _wait_for(self, target: Any) -> None:
         if not isinstance(target, Waitable):
@@ -143,6 +147,7 @@ class Process(Waitable):
         for joiner in self._joiners:
             self.sim._schedule(self.sim.now, joiner._resume, result)
         self._joiners.clear()
+        self.sim._forget(self)
 
     # -- Waitable protocol (join) ----------------------------------------------
 
@@ -176,7 +181,14 @@ class Simulator:
         sim.run()
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_live_processes", "_blocked_registry")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_live_processes",
+        "_blocked_registry",
+        "_dead_registered",
+    )
 
     def __init__(self) -> None:
         #: Current simulation time in picoseconds.
@@ -184,8 +196,11 @@ class Simulator:
         self._heap: list[tuple[int, int, Callable[..., None], Any]] = []
         self._seq: int = 0
         self._live_processes: int = 0
-        # Weak registry of all processes ever created, for deadlock reports.
+        # Registry of live processes, for deadlock reports.  Dead processes
+        # are pruned lazily (amortized O(1)) so short-lived processes do not
+        # accumulate across a long run or pollute later deadlock reports.
         self._blocked_registry: list[Process] = []
+        self._dead_registered: int = 0
 
     # -- scheduling -------------------------------------------------------------
 
@@ -202,6 +217,13 @@ class Simulator:
         proc = Process(self, gen, name)
         self._blocked_registry.append(proc)
         return proc
+
+    def _forget(self, proc: Process) -> None:
+        """Note a process death; compact the registry once half are dead."""
+        self._dead_registered += 1
+        if self._dead_registered * 2 > len(self._blocked_registry):
+            self._blocked_registry = [p for p in self._blocked_registry if p.alive]
+            self._dead_registered = 0
 
     def call_at(self, when: int, callback: Callable[[], None]) -> None:
         """Schedule a plain callback (no process) at an absolute time."""

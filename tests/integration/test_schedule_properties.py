@@ -1,0 +1,101 @@
+"""Property-based schedule validation across every execution engine.
+
+For seeded random traces (dense RAW/WAR/WAW interaction over a small
+shared address pool, :mod:`repro.traces.random_traces`), every engine that
+claims to execute a trace — the software RTS baseline, the paper's single
+Task Maestro, and the sharded multi-Maestro — must produce a schedule that
+respects the golden dependence graph of :mod:`repro.runtime.task_graph`:
+
+* every task runs exactly once and its lifecycle timestamps are monotone;
+* no task's input fetch starts before the write-back of any RAW/WAR/WAW
+  predecessor finishes.
+
+The traces deliberately cross the hardware's spill thresholds (more
+parameters than one Task Descriptor holds, kick-off fan-out beyond one
+entry) so dummy-task and dummy-entry paths are validated too.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.machine import run_trace
+from repro.runtime.software_rts import run_software_rts
+from repro.runtime.task_graph import build_task_graph
+from repro.traces import random_trace
+
+SEEDS = [0, 1, 2, 3, 4]
+
+#: Hazard-dense pools: few addresses, parameter lists past the TD limit.
+TRACE_KW = dict(n_tasks=80, n_addresses=10, max_params=6, mean_exec=1500)
+
+
+def _trace(seed):
+    return random_trace(seed=seed, name=f"random-{seed}", **TRACE_KW)
+
+
+def _assert_legal(result, graph):
+    problems = result.verify_against(graph)
+    assert problems == [], "\n".join(problems[:5])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_software_rts_schedule_respects_golden_graph(seed):
+    trace = _trace(seed)
+    graph = build_task_graph(trace)
+    result = run_software_rts(trace, SystemConfig(workers=4))
+    _assert_legal(result, graph)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_maestro_schedule_respects_golden_graph(seed):
+    trace = _trace(seed)
+    graph = build_task_graph(trace)
+    result = run_trace(
+        trace, SystemConfig(workers=4, memory_batch_chunks=8)
+    )
+    _assert_legal(result, graph)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shards", [2, 3])
+def test_sharded_maestro_schedule_respects_golden_graph(seed, shards):
+    trace = _trace(seed)
+    graph = build_task_graph(trace)
+    result = run_trace(
+        trace,
+        SystemConfig(workers=4, maestro_shards=shards, memory_batch_chunks=8),
+    )
+    _assert_legal(result, graph)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_sharded_maestro_with_tiny_shard_tables(seed):
+    """Per-shard capacity pressure: checks stall on a full shard slice and
+    must resume when that shard's finish engine frees entries."""
+    trace = _trace(seed)
+    graph = build_task_graph(trace)
+    cfg = SystemConfig(
+        workers=2,
+        maestro_shards=2,
+        dependence_table_entries_per_shard=8,
+        kickoff_list_size=2,
+        memory_contention=False,
+    )
+    result = run_trace(trace, cfg)
+    _assert_legal(result, graph)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_engines_agree_on_the_task_set(seed):
+    """All three engines retire the same tasks (sanity cross-check)."""
+    trace = _trace(seed)
+    cfg = SystemConfig(workers=4, memory_batch_chunks=8)
+    results = [
+        run_software_rts(trace, cfg),
+        run_trace(trace, cfg),
+        run_trace(trace, cfg.with_(maestro_shards=2)),
+    ]
+    task_sets = [
+        sorted(r.tid for r in res.records if r.is_complete()) for res in results
+    ]
+    assert task_sets[0] == task_sets[1] == task_sets[2] == list(range(len(trace)))

@@ -284,3 +284,162 @@ def test_many_processes_scale():
     sim.run()
     assert len(done) == 1000
     assert done == sorted(done)
+
+
+# ---- run(until=...) / call_at edge cases -------------------------------------------
+
+
+def test_run_until_repushes_popped_event_exactly_once():
+    """Pausing re-pushes the first too-late event; it must fire once, on time."""
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(10)
+        fired.append(sim.now)
+        yield sim.timeout(20)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    # Pause between the two events: the t=30 event is popped, seen to be
+    # beyond the horizon and pushed back.
+    assert sim.run(until=20) == 20
+    assert fired == [10]
+    # A second paused run before the event's time must not fire it either.
+    assert sim.run(until=29) == 29
+    assert fired == [10]
+    # Resuming fires it exactly once, at its original timestamp.
+    sim.run()
+    assert fired == [10, 30]
+
+
+def test_run_until_exact_event_time_is_inclusive():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(10)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=10)
+    assert fired == [10]
+
+
+def test_call_at_past_rejected_directly():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 10
+    with pytest.raises(ValueError):
+        sim.call_at(5, lambda: None)
+
+
+# ---- deadlock report completeness -----------------------------------------------
+
+
+def test_deadlock_report_names_every_blocked_process():
+    """Each blocked process appears with its waitable's describe() string."""
+    from repro.sim import Fifo, Resource, Signal
+
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1, name="starved-fifo")
+    signal = Signal(sim, name="never-set")
+    res = Resource(sim, 1, name="held-port")
+
+    def on_fifo():
+        yield fifo.get()
+
+    def on_signal():
+        yield signal.wait()
+
+    def on_resource():
+        yield res.acquire()
+        yield res.acquire()  # second acquire of a capacity-1 resource
+
+    sim.process(on_fifo(), name="fifo-waiter")
+    sim.process(on_signal(), name="signal-waiter")
+    sim.process(on_resource(), name="resource-waiter")
+    with pytest.raises(DeadlockError) as exc_info:
+        sim.run()
+
+    blocked = dict(exc_info.value.blocked)
+    assert blocked == {
+        "fifo-waiter": "get(starved-fifo)",
+        "signal-waiter": "wait(never-set)",
+        "resource-waiter": "acquire(held-port)",
+    }
+    for fragment in ("fifo-waiter", "get(starved-fifo)", "wait(never-set)",
+                     "acquire(held-port)"):
+        assert fragment in str(exc_info.value)
+
+
+# ---- _throw kill paths (regression: dead processes must leave the registry) -------
+
+
+def test_thrown_process_is_pruned_from_deadlock_reports():
+    """A process killed by an unhandled injected exception must not linger."""
+    from repro.sim import Fifo
+
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1, name="quiet-fifo")
+
+    def victim():
+        yield fifo.get()
+
+    proc = sim.process(victim(), name="victim")
+    sim.call_at(100, lambda: None)  # keeps the heap non-empty while paused
+    sim.run(until=0)  # let the process start and block
+    with pytest.raises(ProcessError):
+        proc._throw(RuntimeError("injected"))
+    assert not proc.alive
+
+    def survivor():
+        yield fifo.get()
+
+    sim.process(survivor(), name="survivor")
+    with pytest.raises(DeadlockError) as exc_info:
+        sim.run()
+    names = [name for name, _ in exc_info.value.blocked]
+    assert names == ["survivor"], "killed process leaked into the deadlock report"
+
+
+def test_throw_transformed_exception_still_kills_the_process():
+    """Raising a *different* exception while handling the injected one must
+    also decrement the live count, or the next drain falsely deadlocks."""
+    sim = Simulator()
+
+    def victim():
+        try:
+            yield sim.timeout(1000)
+        except ValueError as exc:
+            raise RuntimeError("transformed") from exc
+
+    proc = sim.process(victim(), name="victim")
+    sim.run(until=0)
+    with pytest.raises(ProcessError) as exc_info:
+        proc._throw(ValueError("injected"))
+    assert isinstance(exc_info.value.original, RuntimeError)
+    assert not proc.alive
+    assert sim._live_processes == 0
+    # The heap still holds the dead process's timeout; draining it must not
+    # report a deadlock now that no live process remains.
+    assert sim.run() == 1000
+
+
+def test_finished_processes_compact_out_of_the_registry():
+    """Thousands of short-lived processes must not accumulate forever."""
+    sim = Simulator()
+
+    def short():
+        yield sim.timeout(1)
+
+    for i in range(500):
+        sim.process(short(), name=f"short{i}")
+    sim.run()
+    assert sim._live_processes == 0
+    assert len(sim._blocked_registry) <= 500 // 2 + 1

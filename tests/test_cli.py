@@ -73,3 +73,34 @@ class TestValidate:
         out = capsys.readouterr().out
         assert "10 tasks" in out
         assert "critical path" in out
+
+
+class TestShardedMaestroCli:
+    def test_run_with_shards(self, capsys):
+        rc = main(["run", "random", "--tasks", "60", "--addresses", "16",
+                   "--workers", "4", "--shards", "2", "--verify",
+                   "--no-contention"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dependence check: OK" in out
+        assert "shards 2:" in out
+        assert "interconnect messages" in out
+
+    def test_shard_sweep_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "shards.json"
+        rc = main(["sweep", "random", "--tasks", "80", "--addresses", "16",
+                   "--workers", "4", "--shards", "1,2", "--no-contention",
+                   "--no-prep", "--json", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "busiest block" in out
+        import json
+
+        data = json.loads(path.read_text())
+        assert [r["shards"] for r in data["rows"]] == [1, 2]
+        assert data["rows"][0]["speedup_vs_baseline"] == 1.0
+
+    def test_info_shows_shard_geometry(self, capsys):
+        assert main(["info", "--workers", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Maestro shards" not in out  # paper table stays paper-shaped
