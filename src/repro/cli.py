@@ -4,8 +4,9 @@ Commands
 --------
 ``info``     print the machine configuration (the paper's Table IV)
 ``run``      simulate one workload on one machine and report the results
-``sweep``    speedup-vs-cores curve for a workload (Fig. 7/8 style), or a
-             Maestro shard-scaling curve when ``--shards`` is given
+``sweep``    speedup-vs-cores curve for a workload (Fig. 7/8 style), a
+             Maestro shard-scaling curve when ``--shards`` is given, or a
+             submission front-end sweep when ``--masters`` is given
 ``workloads``list the available workload generators
 ``validate`` check a saved trace file for well-formedness and graph stats
 
@@ -17,6 +18,8 @@ Examples::
     python -m repro run random --tasks 1000 --shards 4 --workers 16
     python -m repro sweep independent --cores 1,4,16,64
     python -m repro sweep random --tasks 1500 --shards 1,2,4 --no-contention
+    python -m repro run random --tasks 1000 --shards 4 --masters 2 --batch 4
+    python -m repro sweep random --tasks 1500 --shards 4 --masters 1,2,4 --batch 1,4,8
     python -m repro run cholesky --tiles 6 --workers 8 --bottleneck
 """
 
@@ -28,7 +31,13 @@ from typing import Callable, Dict, Optional
 
 from .analysis import render_table
 from .config import SystemConfig
-from .machine import analyze_bottleneck, run_trace, shard_scaling_sweep, speedup_curve
+from .machine import (
+    analyze_bottleneck,
+    master_scaling_sweep,
+    run_trace,
+    shard_scaling_sweep,
+    speedup_curve,
+)
 from .runtime.task_graph import build_task_graph
 from .traces import (
     TaskTrace,
@@ -128,6 +137,19 @@ def _config_from(
         overrides["restricted"] = True
     if shards is not None:
         overrides["maestro_shards"] = shards
+    # sweep passes --masters/--batch as comma lists it consumes itself; a
+    # single value still applies to the machine directly.
+    for flag, field_name in (("masters", "master_cores"), ("batch", "submission_batch")):
+        value = getattr(args, flag, None)
+        if isinstance(value, int):
+            overrides[field_name] = value
+        elif isinstance(value, str):
+            if not value.isdigit():
+                raise SystemExit(
+                    f"--{flag} must be a positive integer (a comma list is "
+                    f"only valid in a --masters sweep); got {value!r}"
+                )
+            overrides[field_name] = int(value)
     if getattr(args, "hop_ns", None) is not None:
         from .sim import NS
 
@@ -202,11 +224,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"mean {icn['mean_hops']:.2f} hops), "
             f"{shard_info['steals']} stolen dispatches"
         )
+    frontend = result.stats.get("frontend")
+    if frontend:
+        print(
+            f"front-end: {frontend['master_cores']} masters x batch "
+            f"{frontend['submission_batch']}, {frontend['merged']} descriptors "
+            f"merged in program order, "
+            f"stall {result.stats['master_stall_ps'] / 1e6:.3g} us total"
+        )
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args)
+    if args.masters:
+        return _master_sweep(trace, args)
     if args.shards:
         return _shard_sweep(trace, args)
     cfg = _config_from(args)
@@ -265,6 +297,57 @@ def _shard_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     return 0
 
 
+def _master_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
+    """Submission front-end scaling curve at fixed workers and shards."""
+    master_counts = [int(m) for m in str(args.masters).split(",")]
+    batch_sizes = [int(b) for b in str(args.batch or "1").split(",")]
+    shards = None
+    if args.shards:
+        if "," in args.shards:
+            raise SystemExit(
+                "--masters sweeps the front-end at a fixed shard count; "
+                "give --shards a single value"
+            )
+        shards = int(args.shards)
+    # The sweep itself varies the front-end knobs.
+    args.masters = args.batch = None
+    cfg = _config_from(args, shards=shards)
+    report = master_scaling_sweep(trace, master_counts, batch_sizes, cfg)
+    rows = [
+        [
+            r["masters"],
+            r["batch"],
+            f"{r['makespan_ps'] / 1e9:.4g}",
+            round(r["speedup_vs_baseline"], 2),
+            (
+                f"{r['master_bound_fraction']:.0%}"
+                if r["master_bound_fraction"] is not None
+                else "-"
+            ),
+            r["busiest_maestro_block"],
+        ]
+        for r in report.rows()
+    ]
+    base_m, base_b = report.baseline_point
+    print(
+        render_table(
+            [
+                "masters",
+                "batch",
+                "makespan (ms)",
+                f"speedup vs {base_m}m/b{base_b}",
+                "master-bound",
+                "busiest block",
+            ],
+            rows,
+            f"{trace.name} @ {cfg.workers} workers, {cfg.maestro_shards} shard(s)",
+        )
+    )
+    if args.json:
+        _write_json(args.json, report.to_json_dict())
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .traces.validate import lint_trace
 
@@ -297,6 +380,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     _add_machine_args(p_info)
     p_info.add_argument("--shards", type=int, default=None, help="Maestro shard count")
     p_info.add_argument("--hop-ns", type=int, default=None, help="shard hop latency (ns)")
+    p_info.add_argument("--masters", type=int, default=None, help="master core count")
+    p_info.add_argument(
+        "--batch", type=int, default=None, help="TDs per submission bus transaction"
+    )
     p_info.set_defaults(func=_cmd_info)
 
     p_wl = sub.add_parser("workloads", help="list workload generators")
@@ -307,6 +394,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     _add_machine_args(p_run)
     p_run.add_argument("--shards", type=int, default=None, help="Maestro shard count")
     p_run.add_argument("--hop-ns", type=int, default=None, help="shard hop latency (ns)")
+    p_run.add_argument("--masters", type=int, default=None, help="master core count")
+    p_run.add_argument(
+        "--batch", type=int, default=None, help="TDs per submission bus transaction"
+    )
     p_run.add_argument("--verify", action="store_true", help="check schedule legality")
     p_run.add_argument("--bottleneck", action="store_true", help="attribute the bottleneck")
     p_run.set_defaults(func=_cmd_run)
@@ -323,7 +414,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="comma-separated Maestro shard counts; switches to a shard-scaling sweep",
     )
     p_sweep.add_argument("--hop-ns", type=int, default=None, help="shard hop latency (ns)")
-    p_sweep.add_argument("--json", default=None, help="write the shard report to a JSON file")
+    p_sweep.add_argument(
+        "--masters",
+        default=None,
+        help="comma-separated master core counts; switches to a submission "
+        "front-end sweep (fixed --shards, --batch may also be a comma list)",
+    )
+    p_sweep.add_argument(
+        "--batch",
+        default=None,
+        help="TDs per bus transaction (comma list allowed with --masters)",
+    )
+    p_sweep.add_argument("--json", default=None, help="write the sweep report to a JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_val = sub.add_parser("validate", help="inspect a saved .npz trace")

@@ -3,6 +3,7 @@
 from .presets import (
     contention_free,
     fast_functional,
+    multi_master,
     nexus_restricted,
     no_prep_delay,
     paper_default,
@@ -20,4 +21,5 @@ __all__ = [
     "nexus_restricted",
     "fast_functional",
     "sharded_maestro",
+    "multi_master",
 ]

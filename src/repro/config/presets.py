@@ -11,6 +11,7 @@ __all__ = [
     "nexus_restricted",
     "fast_functional",
     "sharded_maestro",
+    "multi_master",
 ]
 
 
@@ -52,6 +53,31 @@ def sharded_maestro(shards: int = 4, workers: int = 16, **overrides) -> SystemCo
     ``dependence_table_entries_per_shard`` to size shards independently.
     """
     return SystemConfig(workers=workers, maestro_shards=shards, **overrides)
+
+
+def multi_master(
+    masters: int = 2,
+    batch: int = 4,
+    shards: int = 4,
+    workers: int = 16,
+    **overrides,
+) -> SystemConfig:
+    """Parallel submission front-end on top of the sharded Maestro (beyond
+    the paper): ``masters`` master cores each submit a round-robin slice of
+    the trace in DMA-style batches of ``batch`` descriptors per bus
+    transaction; a sequence-numbered merge unit restores global program
+    order before Write TP, so dependence resolution is unchanged.
+
+    Defaults pair the front-end with a 4-shard Maestro — the machine PR 1's
+    shard-scaling sweep showed to be master-bound.
+    """
+    return SystemConfig(
+        workers=workers,
+        master_cores=masters,
+        submission_batch=batch,
+        maestro_shards=shards,
+        **overrides,
+    )
 
 
 def fast_functional(workers: int = 4, **overrides) -> SystemConfig:

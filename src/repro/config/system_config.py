@@ -98,6 +98,15 @@ class SystemConfig:
     force_sharded_maestro: bool = False
 
     # ---- master core / on-chip bus ----------------------------------------------
+    #: Number of master cores generating Task Descriptors.  1 reproduces the
+    #: paper's single serial master; N > 1 splits the trace round-robin over
+    #: N submitters whose streams a sequence-numbered merge unit reassembles
+    #: into global program order before Write TP (beyond the paper).
+    master_cores: int = 1
+    #: Task Descriptors per bus transaction (DMA-style batching).  1
+    #: reproduces the paper's one-handshake-per-descriptor submission; B > 1
+    #: amortizes the handshake over B descriptors.
+    submission_batch: int = 1
     #: Task Descriptor preparation time on the master core (30 ns, §IV).
     task_prep_time: int = 30 * NS
     #: Handshaking delay before each submission, in Nexus cycles.
@@ -157,10 +166,18 @@ class SystemConfig:
             ("memory_batch_chunks", self.memory_batch_chunks),
             ("maestro_shards", self.maestro_shards),
             ("shard_inbox_entries", self.shard_inbox_entries),
+            ("master_cores", self.master_cores),
+            ("submission_batch", self.submission_batch),
         ]
         for name, value in positive:
             if value <= 0:
                 raise ValueError(f"{name} must be positive, got {value}")
+        if self.master_cores < 1:
+            raise ValueError(f"master_cores must be >= 1, got {self.master_cores}")
+        if self.submission_batch < 1:
+            raise ValueError(
+                f"submission_batch must be >= 1, got {self.submission_batch}"
+            )
         if self.task_prep_time < 0:
             raise ValueError("task_prep_time must be >= 0")
         if self.bus_handshake_cycles < 0 or self.bus_word_cycles < 0:
@@ -213,6 +230,19 @@ class SystemConfig:
         return self.maestro_shards > 1 or self.force_sharded_maestro
 
     @property
+    def use_parallel_frontend(self) -> bool:
+        """True when the machine wires per-master TDs buffers plus the
+        program-order merge unit (a single master feeds Write TP directly)."""
+        return self.master_cores > 1
+
+    @property
+    def master_buffer_entries(self) -> int:
+        """Per-master TDs buffer depth: the TDs Sizes list split evenly
+        (ceiling) across the master cores, so total front-end buffering
+        stays comparable to the single-master machine."""
+        return -(-self.tds_sizes_list_entries // self.master_cores)
+
+    @property
     def dt_entries_per_shard(self) -> int:
         """Dependence Table capacity owned by each Maestro shard."""
         if self.dependence_table_entries_per_shard is not None:
@@ -231,10 +261,25 @@ class SystemConfig:
         one leading word for ID/function pointer.  ``fitted`` matches the
         paper's worked examples (10 cycles @ 4 params, 14 @ 8).
         """
+        return self.batch_submission_time([n_params])
+
+    def batch_submission_time(self, param_counts: "list[int]") -> int:
+        """Submission delay for one bus transaction carrying a batch of
+        descriptors (``param_counts`` parameters each).
+
+        One handshake opens the transaction; every descriptor then costs
+        its header word plus one word per parameter, so a batch of one is
+        exactly :meth:`submission_time` and larger batches amortize the
+        handshake.  The ``fitted`` model decomposes its ``6 + nP`` cycles
+        as a 5-cycle handshake plus ``1 + nP`` word cycles.
+        """
+        if not param_counts:
+            return 0
+        words = sum(1 + n for n in param_counts)
         if self.bus_model == BUS_MODEL_FITTED:
-            cycles = 6 + n_params
+            cycles = 5 + words
         else:
-            cycles = self.bus_handshake_cycles + self.bus_word_cycles * (1 + n_params)
+            cycles = self.bus_handshake_cycles + self.bus_word_cycles * words
         return cycles * self.nexus_cycle
 
     def td_transfer_time(self, n_params: int) -> int:
@@ -266,8 +311,17 @@ class SystemConfig:
         their extra geometry below the paper's rows.
         """
         extra: list[tuple[str, str]] = []
+        if self.use_parallel_frontend or self.submission_batch > 1:
+            extra += [
+                ("Master cores", str(self.master_cores)),
+                ("Submission batch", f"{self.submission_batch} TDs/transaction"),
+                (
+                    "Per-master TDs buffer",
+                    f"{self.master_buffer_entries} entries",
+                ),
+            ]
         if self.use_sharded_maestro:
-            extra = [
+            extra += [
                 ("Maestro shards", str(self.maestro_shards)),
                 ("Shard hop latency", f"{self.shard_hop_time / NS:g}ns"),
                 (

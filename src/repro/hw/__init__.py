@@ -2,8 +2,9 @@
 
 The pure data structures (:class:`TaskPool`, :class:`DependenceTable`) are
 simulation-free and unit-testable; the active components
-(:class:`TaskMaestro`, :class:`TaskController`, :class:`MasterCore`) are
-bundles of discrete-event processes wired through a shared :class:`Fabric`.
+(:class:`TaskMaestro`, :class:`TaskController`, :class:`MasterCluster`)
+are bundles of discrete-event processes wired through a shared
+:class:`Fabric`.
 """
 
 from .dependence_table import (
@@ -15,8 +16,8 @@ from .dependence_table import (
     shard_hash,
 )
 from .errors import CapacityError, HardwareError, ProtocolError
-from .fabric import Fabric, Interconnect
-from .master import MasterCore
+from .fabric import Fabric, Interconnect, MergeUnit
+from .master import MasterCluster, MasterCore
 from .maestro import TaskMaestro
 from .sharded_maestro import ShardedMaestro
 from .memory import MemorySystem
@@ -36,10 +37,12 @@ __all__ = [
     "MemorySystem",
     "Fabric",
     "Interconnect",
+    "MergeUnit",
     "TaskMaestro",
     "ShardedMaestro",
     "TaskController",
     "MasterCore",
+    "MasterCluster",
     "CapacityError",
     "HardwareError",
     "ProtocolError",

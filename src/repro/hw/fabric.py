@@ -13,6 +13,14 @@ over ``maestro_shards`` Maestro instances joined by a ring
 inboxes, ready list and worker-core pool.  The single-Maestro structures
 and the sharded structures are mutually exclusive — a machine is wired one
 way or the other, so the paper-exact path is untouched by the extension.
+
+A second extension parallelizes the *submission* side
+(``config.use_parallel_frontend``): ``master_cores`` master cores each
+stream a round-robin slice of the trace into their own TDs buffer, and a
+sequence-numbered :class:`MergeUnit` reassembles global program order in
+front of Write TP.  With one master the buffers and merge unit are not
+built and the master feeds the central TDs Buffer directly, exactly as in
+the paper.
 """
 
 from __future__ import annotations
@@ -26,7 +34,51 @@ from .dependence_table import DependenceTable, shard_hash
 from .memory import MemorySystem
 from .task_pool import TaskPool
 
-__all__ = ["Fabric", "Interconnect"]
+__all__ = ["Fabric", "Interconnect", "MergeUnit"]
+
+
+class MergeUnit:
+    """Sequence-numbered merge: restores global program order in front of
+    Write TP when several master cores submit in parallel.
+
+    Each master submits a round-robin slice of the trace in its own program
+    order, tagging every descriptor with its global sequence number (the
+    task's index in the trace).  The merge unit therefore always knows
+    which per-master buffer holds the next descriptor — ``seq % n_masters``
+    — and simply blocks on that buffer, forwarding one descriptor per Nexus
+    cycle into the central TDs Buffer.  Downstream of the merge the
+    descriptor stream is exactly the single-master stream, so the Check
+    Scatter invariant (per-address checks observed in program order) holds
+    untouched.
+    """
+
+    def __init__(self, fabric: "Fabric"):
+        self.fabric = fabric
+        #: Global sequence number the unit expects next.
+        self.next_seq = 0
+        #: Descriptors forwarded so far (equals tasks reaching Write TP).
+        self.merged = 0
+
+    def start(self) -> None:
+        self.fabric.sim.process(self._run(), name="merge-unit")
+
+    def _run(self):
+        fab = self.fabric
+        sim = fab.sim
+        n_masters = fab.config.master_cores
+        total = len(fab.trace)
+        while self.next_seq < total:
+            src = self.next_seq % n_masters
+            seq, task = yield fab.master_buffers[src].get()
+            if seq != self.next_seq:
+                raise RuntimeError(
+                    f"merge unit expected sequence {self.next_seq}, got {seq} "
+                    f"from master {src} (per-master streams out of order)"
+                )
+            yield sim.timeout(fab.cycle)  # reorder-slot pop + central push
+            yield fab.tds_buffer.put(task)
+            self.next_seq += 1
+            self.merged += 1
 
 
 class Interconnect:
@@ -102,6 +154,10 @@ class Fabric:
         self.n_shards = config.maestro_shards
         #: True when the sharded Maestro subsystem is wired in.
         self.sharded = config.use_sharded_maestro
+        #: Number of master cores (1 = the paper's serial master).
+        self.n_masters = config.master_cores
+        #: True when per-master TDs buffers + the merge unit are wired in.
+        self.parallel_frontend = config.use_parallel_frontend
 
         # ---- tables -------------------------------------------------------------
         self.task_pool = TaskPool(
@@ -132,6 +188,20 @@ class Fabric:
         self.tds_buffer: Fifo = Fifo(
             sim, config.tds_sizes_list_entries, "tds-buffer", track_occupancy=True
         )
+        if self.parallel_frontend:
+            # One TDs buffer per master core, feeding the merge unit with
+            # (sequence number, descriptor) pairs; the TDs Sizes capacity is
+            # split evenly across the masters.
+            self.master_buffers: List[Fifo] = [
+                Fifo(
+                    sim,
+                    config.master_buffer_entries,
+                    f"m{m}-tds-buffer",
+                    track_occupancy=True,
+                )
+                for m in range(self.n_masters)
+            ]
+            self.merge = MergeUnit(self)
         self.new_tasks: Fifo = Fifo(sim, config.new_tasks_list_entries, "new-tasks")
         self.tp_free: Fifo = Fifo(sim, config.tp_free_list_entries, "tp-free-indices")
         for idx in range(config.task_pool_entries):

@@ -46,29 +46,48 @@ def write_tp_block(fab: Fabric, scoreboard: Scoreboard, busy: BusyTracker,
     machines, which the shard differential tests compare against each
     other.  ``n_shards`` is set only by the sharded Maestro, which also
     assigns each stored task a home shard (round-robin by task id).
+
+    The block drains the TDs Buffer in batches of up to
+    ``submission_batch`` descriptors per activation, charging the
+    TDs-Sizes-entry read cycle once per batch — the receive half of the
+    DMA-style submission path.  A batch of one is cycle-for-cycle the
+    paper's per-descriptor loop.
     """
     sim = fab.sim
+    batch_limit = fab.config.submission_batch
     while True:
-        task = yield fab.tds_buffer.get()
+        first = yield fab.tds_buffer.get()
         busy.begin()
         # Reading the TDs Sizes entry and the TDs Buffer costs a cycle.
         yield sim.timeout(fab.cycle)
-        need = fab.task_pool.entries_for(task)  # CapacityError if restricted
-        indices = []
-        for _ in range(need):
-            idx = yield fab.tp_free.get()
-            indices.append(idx)
-        yield fab.tp_port.acquire()
-        head, accesses = fab.task_pool.store(task, indices)
-        fab.task_pool.begin_check(head)
-        yield sim.timeout(accesses * fab.on_chip)
-        fab.tp_port.release()
-        fab.inflight[head] = task
-        if n_shards is not None:
-            fab.home_of[head] = task.tid % n_shards
-        scoreboard.records[task.tid].stored = sim.now
-        busy.end()
-        yield fab.new_tasks.put(head)
+        batch = [first]
+        while len(batch) < batch_limit:
+            nxt = fab.tds_buffer.try_get()
+            if nxt is None:
+                break
+            batch.append(nxt)
+        for i, task in enumerate(batch):
+            need = fab.task_pool.entries_for(task)  # CapacityError if restricted
+            indices = []
+            for _ in range(need):
+                idx = yield fab.tp_free.get()
+                indices.append(idx)
+            yield fab.tp_port.acquire()
+            head, accesses = fab.task_pool.store(task, indices)
+            fab.task_pool.begin_check(head)
+            yield sim.timeout(accesses * fab.on_chip)
+            fab.tp_port.release()
+            fab.inflight[head] = task
+            if n_shards is not None:
+                fab.home_of[head] = task.tid % n_shards
+            scoreboard.records[task.tid].stored = sim.now
+            # Backpressure on the New Tasks list is not Write TP work:
+            # keep every put outside the busy window (as the paper-exact
+            # batch-of-one loop always did).
+            busy.end()
+            yield fab.new_tasks.put(head)
+            if i != len(batch) - 1:
+                busy.begin()
 
 
 def send_tds_block(fab: Fabric, request_fifo, busy: BusyTracker):

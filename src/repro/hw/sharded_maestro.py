@@ -9,9 +9,11 @@ interconnect with per-hop latency (:class:`~repro.hw.fabric.Interconnect`).
 
 Protocol
 --------
-* **Write TP** (one instance) — unchanged from the single Maestro: pulls
-  Task Descriptors off the TDs Buffer into the (still central) Task Pool,
-  and assigns each task a *home shard* round-robin by task id.
+* **Write TP** (one instance) — the same shared block body as the single
+  Maestro (:func:`~repro.hw.maestro.write_tp_block`, including its batched
+  TDs-Buffer drain, so submission timing cannot drift between engines):
+  pulls Task Descriptors off the TDs Buffer into the (still central) Task
+  Pool, and assigns each task a *home shard* round-robin by task id.
 * **Check Scatter** (one instance) — the program-order sequencer.  Pops the
   New Tasks list in submission order and injects one dependence-check
   message per parameter into the owning shard's check inbox, one message

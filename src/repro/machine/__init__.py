@@ -4,8 +4,10 @@ from .bottleneck import BottleneckReport, analyze_bottleneck
 from .machine import NexusMachine, run_trace
 from .results import RunResult, Scoreboard, TaskRecord
 from .sweep import (
+    MasterScalingReport,
     ShardScalingReport,
     SpeedupCurve,
+    master_scaling_sweep,
     shard_scaling_sweep,
     speedup_curve,
     sweep_parameter,
@@ -22,6 +24,8 @@ __all__ = [
     "sweep_parameter",
     "ShardScalingReport",
     "shard_scaling_sweep",
+    "MasterScalingReport",
+    "master_scaling_sweep",
     "BottleneckReport",
     "analyze_bottleneck",
 ]

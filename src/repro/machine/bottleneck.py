@@ -65,9 +65,16 @@ def analyze_bottleneck(
     # master spent *stalled* on a full TDs Buffer is downstream
     # backpressure — the master is then a victim, not the bottleneck — so
     # it is subtracted.
-    master_active = min(result.master_done, span)
+    # A truncated run (master_done is None) had the master producing for
+    # the whole observed span.  With N masters the front-end's capacity is
+    # N core-times, and the recorded stall is summed across all of them,
+    # so normalize like the worker pool: busy = N*active - total stall.
+    master_active = span if result.master_done is None else min(result.master_done, span)
+    n_masters = result.config_notes.get("master_cores", 1)
     stall = result.stats.get("master_stall_ps", 0)
-    occupancy["master"] = max(0, master_active - stall) / span
+    occupancy["master"] = max(0, n_masters * master_active - stall) / (
+        n_masters * span
+    )
 
     for block, util in result.stats.get("maestro_utilization", {}).items():
         occupancy[f"maestro.{block}"] = util

@@ -21,7 +21,7 @@ from typing import Optional
 from ..config import SystemConfig
 from ..hw.errors import CapacityError
 from ..hw.fabric import Fabric
-from ..hw.master import MasterCore
+from ..hw.master import MasterCluster
 from ..hw.maestro import TaskMaestro
 from ..hw.sharded_maestro import ShardedMaestro
 from ..hw.task_controller import TaskController
@@ -52,7 +52,7 @@ class NexusMachine:
         fabric = Fabric(sim, cfg, trace)
         scoreboard = Scoreboard(len(trace))
 
-        master = MasterCore(fabric, scoreboard)
+        master = MasterCluster(fabric, scoreboard)
         # One shard keeps the paper-exact single-Maestro engine; more shards
         # (or the differential-testing force switch) wire the sharded one.
         if fabric.sharded:
@@ -118,6 +118,8 @@ class NexusMachine:
             },
             "memory": fabric.memory.stats(),
             "master_stall_ps": master.stall_time,
+            "per_master_stall_ps": master.per_master_stall(),
+            "tasks_submitted": master.submitted,
             "tds_buffer_mean_occupancy": (
                 fabric.tds_buffer.stat.mean() if fabric.tds_buffer.stat else 0.0
             ),
@@ -131,11 +133,24 @@ class NexusMachine:
                 "steals": maestro.steals,
                 "per_shard_dep_table": maestro.shard_stats(),
             }
+        if fabric.parallel_frontend:
+            stats["frontend"] = {
+                "master_cores": fabric.n_masters,
+                "submission_batch": cfg.submission_batch,
+                "merged": fabric.merge.merged,
+                "per_master_buffer_mean_occupancy": [
+                    (b.stat.mean() if b.stat else 0.0)
+                    for b in fabric.master_buffers
+                ],
+            }
         return RunResult(
             trace_name=trace.name,
             workers=cfg.workers,
             makespan=scoreboard.last_completion,
-            master_done=master.done_at if master.done_at is not None else sim.now,
+            # None (not sim.now) when a max_time-truncated run ended before
+            # every master finished — a truncated run must stay
+            # distinguishable from a complete one.
+            master_done=master.done_at,
             records=scoreboard.records,
             stats=stats,
             config_notes={
@@ -146,6 +161,8 @@ class NexusMachine:
                 "dependence_table_entries": cfg.dependence_table_entries,
                 "restricted": cfg.restricted,
                 "maestro_shards": cfg.maestro_shards,
+                "master_cores": cfg.master_cores,
+                "submission_batch": cfg.submission_batch,
             },
         )
 

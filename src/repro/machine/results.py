@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..scoreboard import Scoreboard, TaskRecord
 
@@ -18,8 +18,9 @@ class RunResult:
     workers: int
     #: Time of the last task's retirement (ps) — the figure speedups use.
     makespan: int
-    #: When the master finished submitting the last TD (ps).
-    master_done: int
+    #: When the last master core finished submitting its final TD (ps), or
+    #: ``None`` if the run was truncated (``max_time``) before it could.
+    master_done: Optional[int]
     records: List[TaskRecord]
     #: Component statistics (Dependence Table, Task Pool, memory, queues).
     stats: Dict[str, Any] = field(default_factory=dict)

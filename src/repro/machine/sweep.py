@@ -21,6 +21,8 @@ __all__ = [
     "sweep_parameter",
     "ShardScalingReport",
     "shard_scaling_sweep",
+    "MasterScalingReport",
+    "master_scaling_sweep",
 ]
 
 
@@ -45,10 +47,16 @@ class SpeedupCurve:
         return max(self.speedups)
 
     def saturation_point(self, tolerance: float = 0.05) -> int:
-        """Smallest core count within ``tolerance`` of the peak speedup."""
-        peak = self.peak()
-        for cores, s in zip(self.core_counts, self.speedups):
-            if s >= peak * (1.0 - tolerance):
+        """Smallest core count at or beyond which the curve *stays* within
+        ``tolerance`` of the peak speedup.
+
+        A point that merely touches the tolerance band before the curve
+        dips again (non-monotone curves do this) is not saturation — the
+        whole tail from the returned count onward must sit in the band.
+        """
+        threshold = self.peak() * (1.0 - tolerance)
+        for i, cores in enumerate(self.core_counts):
+            if all(s >= threshold for s in self.speedups[i:]):
                 return cores
         return self.core_counts[-1]
 
@@ -184,6 +192,106 @@ def shard_scaling_sweep(
     )
 
 
+@dataclass
+class MasterScalingReport:
+    """Makespan vs (master cores, submission batch) at fixed workers/shards.
+
+    Answers the question PR 1's shard sweep raised: once dependency
+    resolution is sharded the serial master is the ceiling — how far do
+    parallel submitters and DMA-style descriptor batching lift it?
+    Speedups are measured against the (1 master, batch 1) run when present,
+    else the smallest configuration swept.
+    """
+
+    trace_name: str
+    workers: int
+    shards: int
+    points: List[tuple[int, int]]  # (master_cores, submission_batch)
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def baseline_point(self) -> tuple[int, int]:
+        return (1, 1) if (1, 1) in self.points else min(self.points)
+
+    @property
+    def speedups(self) -> List[float]:
+        base = self.runs[self.points.index(self.baseline_point)]
+        return [base.makespan / r.makespan for r in self.runs]
+
+    def at(self, masters: int, batch: int) -> RunResult:
+        return self.runs[self.points.index((masters, batch))]
+
+    def rows(self) -> List[dict]:
+        """One report row per swept point (used by the CLI and the bench)."""
+        out = []
+        for (masters, batch), run, speedup in zip(
+            self.points, self.runs, self.speedups
+        ):
+            util = run.stats.get("maestro_utilization", {})
+            out.append(
+                {
+                    "masters": masters,
+                    "batch": batch,
+                    "makespan_ps": run.makespan,
+                    "speedup_vs_baseline": round(speedup, 4),
+                    "master_done_ps": run.master_done,
+                    "master_bound_fraction": (
+                        round(run.master_done / run.makespan, 4)
+                        if run.master_done is not None and run.makespan
+                        else None
+                    ),
+                    "master_stall_ps": run.stats.get("master_stall_ps", 0),
+                    "busiest_maestro_block": (
+                        max(util, key=util.get) if util else None
+                    ),
+                    "busiest_block_utilization": (
+                        round(max(util.values()), 4) if util else None
+                    ),
+                }
+            )
+        return out
+
+    def to_json_dict(self) -> dict:
+        return {
+            "trace": self.trace_name,
+            "workers": self.workers,
+            "shards": self.shards,
+            "baseline": {
+                "masters": self.baseline_point[0],
+                "batch": self.baseline_point[1],
+            },
+            "rows": self.rows(),
+        }
+
+
+def master_scaling_sweep(
+    trace: TaskTrace,
+    master_counts: Sequence[int],
+    batch_sizes: Sequence[int] = (1,),
+    config: Optional[SystemConfig] = None,
+) -> MasterScalingReport:
+    """Run ``trace`` once per (master count, batch size) combination.
+
+    Every run keeps the worker count and Maestro shard count of ``config``;
+    only the submission front-end varies, so the curve isolates it.
+    """
+    if not master_counts or not batch_sizes:
+        raise ValueError("need at least one master count and one batch size")
+    base = config or SystemConfig()
+    points = [(m, b) for m in master_counts for b in batch_sizes]
+    runs = [
+        NexusMachine(base.with_(master_cores=m, submission_batch=b)).run(trace)
+        for m, b in points
+    ]
+    return MasterScalingReport(
+        trace_name=trace.name,
+        workers=base.workers,
+        shards=base.maestro_shards,
+        points=points,
+        runs=runs,
+    )
+
+
 def sweep_parameter(
     trace: TaskTrace,
     base_config: SystemConfig,
@@ -196,6 +304,21 @@ def sweep_parameter(
     Used by the Fig. 6 design-space exploration (Dependence Table / Task
     Pool sizes).  ``extract`` defaults to the whole :class:`RunResult`.
     """
+    if (
+        parameter == "dependence_table_entries"
+        and base_config.use_sharded_maestro
+        and base_config.dependence_table_entries_per_shard is not None
+    ):
+        # The sharded machine sizes its table slices from the per-shard
+        # override when one is set; sweeping the total would silently
+        # change nothing.
+        raise ValueError(
+            "sweeping dependence_table_entries has no effect: the sharded "
+            "config sets dependence_table_entries_per_shard="
+            f"{base_config.dependence_table_entries_per_shard}; sweep "
+            "'dependence_table_entries_per_shard' instead, or clear the "
+            "per-shard override so shard capacity derives from the total"
+        )
     out: Dict[Any, Any] = {}
     for value in values:
         overrides: Dict[str, Any] = {parameter: value}

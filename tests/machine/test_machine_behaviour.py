@@ -154,6 +154,79 @@ class TestSweepHelpers:
         with pytest.raises(ValueError):
             speedup_curve(trace, [])
 
+    def test_saturation_point_ignores_pre_peak_touch(self):
+        """Regression: a non-monotone curve whose 1-core point already
+        touches the tolerance band of the peak must not report saturation
+        at 1 core — the curve dips below the band afterwards."""
+        from repro.machine.sweep import SpeedupCurve
+
+        curve = SpeedupCurve(
+            trace_name="synthetic",
+            core_counts=[1, 2, 4, 8, 16],
+            speedups=[3.9, 2.0, 3.0, 3.8, 4.0],
+            baseline=None,
+        )
+        # Peak 4.0, 5% band is >= 3.8: cores 1 touches it but the curve
+        # then dips to 2.0; the first count whose whole tail stays in the
+        # band is 8.
+        assert curve.saturation_point() == 8
+
+    def test_saturation_point_monotone_curve_unchanged(self):
+        from repro.machine.sweep import SpeedupCurve
+
+        curve = SpeedupCurve(
+            trace_name="synthetic",
+            core_counts=[1, 2, 4, 8],
+            speedups=[1.0, 1.9, 3.85, 4.0],
+            baseline=None,
+        )
+        assert curve.saturation_point() == 4
+
+    def test_sweep_dt_entries_rejected_with_per_shard_override(self):
+        """Regression: sweeping the total Dependence Table size on a
+        sharded config with an explicit per-shard size would silently do
+        nothing; it must raise instead."""
+        trace = independent_trace(n_tasks=10, n_params=2, time_model=FAST_TIMES)
+        cfg = SystemConfig(
+            workers=2,
+            maestro_shards=2,
+            dependence_table_entries_per_shard=64,
+            memory_contention=False,
+        )
+        with pytest.raises(ValueError, match="dependence_table_entries_per_shard"):
+            sweep_parameter(trace, cfg, "dependence_table_entries", [1024, 2048])
+
+    def test_sweep_dt_entries_allowed_when_derived_per_shard(self):
+        """Without the per-shard override the swept total drives the
+        per-shard capacity, so the sweep is meaningful and allowed."""
+        trace = independent_trace(n_tasks=30, n_params=2, time_model=FAST_TIMES)
+        cfg = SystemConfig(workers=2, maestro_shards=2, memory_contention=False)
+        results = sweep_parameter(
+            trace,
+            cfg,
+            "dependence_table_entries",
+            [64],
+            extract=lambda r: r.makespan,
+        )
+        assert results[64] > 0
+
+    def test_sweep_per_shard_dt_entries_directly(self):
+        trace = independent_trace(n_tasks=30, n_params=2, time_model=FAST_TIMES)
+        cfg = SystemConfig(
+            workers=2,
+            maestro_shards=2,
+            dependence_table_entries_per_shard=64,
+            memory_contention=False,
+        )
+        results = sweep_parameter(
+            trace,
+            cfg,
+            "dependence_table_entries_per_shard",
+            [32, 64],
+            extract=lambda r: r.makespan,
+        )
+        assert set(results) == {32, 64}
+
     def test_sweep_parameter_adjusts_free_list(self):
         trace = independent_trace(n_tasks=50, n_params=2, time_model=FAST_TIMES)
         cfg = SystemConfig(workers=2, memory_contention=False)

@@ -104,3 +104,42 @@ class TestShardedMaestroCli:
         assert main(["info", "--workers", "8"]) == 0
         out = capsys.readouterr().out
         assert "Maestro shards" not in out  # paper table stays paper-shaped
+
+
+class TestSubmissionFrontendCli:
+    def test_run_with_masters_and_batch(self, capsys):
+        rc = main(["run", "random", "--tasks", "60", "--addresses", "16",
+                   "--workers", "4", "--shards", "2", "--masters", "2",
+                   "--batch", "4", "--verify", "--no-contention"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dependence check: OK" in out
+        assert "front-end: 2 masters x batch 4" in out
+
+    def test_master_sweep_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "masters.json"
+        rc = main(["sweep", "random", "--tasks", "80", "--addresses", "16",
+                   "--workers", "4", "--shards", "2", "--masters", "1,2",
+                   "--batch", "1,4", "--no-contention", "--json", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "master-bound" in out
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["shards"] == 2
+        assert [(r["masters"], r["batch"]) for r in data["rows"]] == [
+            (1, 1), (1, 4), (2, 1), (2, 4)
+        ]
+        assert data["rows"][0]["speedup_vs_baseline"] == 1.0
+
+    def test_master_sweep_rejects_shard_list(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--masters", "1,2",
+                  "--shards", "1,2"])
+
+    def test_info_shows_frontend_geometry(self, capsys):
+        assert main(["info", "--masters", "2", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Master cores" in out
+        assert "Submission batch" in out
