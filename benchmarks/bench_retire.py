@@ -1,0 +1,123 @@
+"""Retire pipeline scaling: past the per-shard retire front-end's ceiling.
+
+PR 2's submission sweep (``bench_submission.py``) ends with the per-shard
+retire front-end as the binding constraint: at 4 masters the hazard-dense
+random workload flattens at ~31 us with every ``s{N}.retire`` block the
+busiest in the machine — one finish in flight per shard, with param read,
+finish scatter, reply gather and chain free all serialized per task.  This
+experiment sweeps the pipelined retire front-end on exactly that machine —
+the hazard-dense random workload at 4 shards x 4 masters x batch 8, Table
+IV timing with prep on and the fitted bus model — over retire pipeline
+depths 1/2/4/8.
+
+Each swept depth is the full pipelined-retire design point: ``depth``
+ticket-tagged finishes in flight per shard *and* the Task Pool ports the
+config derives for them (one per ticket; the real hardware's per-entry
+busy bits allow concurrent access to distinct entries, so a single
+arbitration port under-models a machine with several finishes in flight).
+Depth 1 therefore is cycle-for-cycle today's serialized machine — the
+~31 us ceiling — and deeper points show what pipelining buys.
+
+Expected shape: the depth-1 baseline spends ~70% of the run with its
+retire pipeline full (retire-bound); depth 2 recovers most of the win and
+depth 4 breaks the ceiling at >= 1.5x, after which the curve flattens —
+the machine returns to the master-bound / resolution-latency floor and
+extra depth buys nothing (tickets idle).
+
+Reproduce from the CLI::
+
+    python -m repro sweep random --tasks 1200 --shards 4 --masters 4 \
+        --batch 8 --retire-depth 1,2,4,8 --no-contention \
+        --json BENCH_retire_scaling.json
+
+The machine-readable curve lands in ``BENCH_retire_scaling.json`` at the
+repository root.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import FULL, report
+
+from repro.analysis import render_table
+from repro.config import BUS_MODEL_FITTED, SystemConfig
+from repro.machine import retire_scaling_sweep
+from repro.traces import random_trace
+
+DEPTHS = [1, 2, 4, 8, 16] if FULL else [1, 2, 4, 8]
+N_TASKS = 3000 if FULL else 1200
+WORKERS = 16
+SHARDS = 4
+MASTERS = 4
+BATCH = 8
+
+JSON_PATH = Path(__file__).parent.parent / "BENCH_retire_scaling.json"
+
+
+def _experiment():
+    trace = random_trace(
+        N_TASKS,
+        n_addresses=96,
+        max_params=6,
+        seed=7,
+        mean_exec=4000,
+        mean_memory=0,
+        name="random-hazard-dense",
+    )
+    cfg = SystemConfig(
+        workers=WORKERS,
+        maestro_shards=SHARDS,
+        master_cores=MASTERS,
+        submission_batch=BATCH,
+        memory_contention=False,
+        bus_model=BUS_MODEL_FITTED,
+    )
+    return retire_scaling_sweep(trace, DEPTHS, cfg)
+
+
+def test_retire_scaling(benchmark):
+    rep = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    rows = rep.rows()
+
+    JSON_PATH.write_text(json.dumps(rep.to_json_dict(), indent=2) + "\n")
+
+    table = render_table(
+        [
+            "depth",
+            "TP ports",
+            "makespan (us)",
+            "speedup",
+            "mean in-flight",
+            "pipe full",
+            "busiest block",
+        ],
+        [
+            [
+                r["depth"],
+                r["task_pool_ports"],
+                round(r["makespan_ps"] / 1e6, 2),
+                round(r["speedup_vs_baseline"], 2),
+                round(r["retire_inflight_mean"], 2),
+                f"{r['retire_full_fraction']:.0%}",
+                r["busiest_maestro_block"],
+            ]
+            for r in rows
+        ],
+        f"Retire pipeline scaling ({rep.trace_name}, {WORKERS} workers, "
+        f"{SHARDS} shards, {MASTERS} masters x batch {BATCH})",
+    )
+    table += f"\nmachine-readable curve: {JSON_PATH.name}"
+    report("retire_scaling", table)
+
+    by_depth = {r["depth"]: r for r in rows}
+    # The baseline must be what PR 2 left behind: a retire-bound machine —
+    # the worst shard spends most of the run with its (single) retire
+    # ticket charged, and a retire block is the busiest in the machine.
+    assert by_depth[1]["retire_full_fraction"] > 0.5
+    assert ".retire" in by_depth[1]["busiest_maestro_block"]
+    # Pipelining must break the ~31 us ceiling: >= 1.5x at depth 4.
+    assert by_depth[4]["speedup_vs_baseline"] >= 1.5
+    # The curve saturates rather than regresses: extra depth keeps the win.
+    assert by_depth[8]["speedup_vs_baseline"] >= by_depth[4]["speedup_vs_baseline"] - 0.05
+    # Depth 1 can never have more than one finish in flight per shard.
+    assert by_depth[1]["retire_inflight_max"] <= 1

@@ -5,8 +5,10 @@ Commands
 ``info``     print the machine configuration (the paper's Table IV)
 ``run``      simulate one workload on one machine and report the results
 ``sweep``    speedup-vs-cores curve for a workload (Fig. 7/8 style), a
-             Maestro shard-scaling curve when ``--shards`` is given, or a
-             submission front-end sweep when ``--masters`` is given
+             Maestro shard-scaling curve when ``--shards`` is given, a
+             submission front-end sweep when ``--masters`` is given, or a
+             retire pipeline-depth sweep when ``--retire-depth`` is a
+             comma list (fixed single --shards)
 ``workloads``list the available workload generators
 ``validate`` check a saved trace file for well-formedness and graph stats
 
@@ -20,6 +22,8 @@ Examples::
     python -m repro sweep random --tasks 1500 --shards 1,2,4 --no-contention
     python -m repro run random --tasks 1000 --shards 4 --masters 2 --batch 4
     python -m repro sweep random --tasks 1500 --shards 4 --masters 1,2,4 --batch 1,4,8
+    python -m repro sweep random --tasks 1200 --shards 4 --masters 4 --batch 8 \
+        --retire-depth 1,2,4,8 --no-contention
     python -m repro run cholesky --tiles 6 --workers 8 --bottleneck
 """
 
@@ -34,6 +38,7 @@ from .config import SystemConfig
 from .machine import (
     analyze_bottleneck,
     master_scaling_sweep,
+    retire_scaling_sweep,
     run_trace,
     shard_scaling_sweep,
     speedup_curve,
@@ -137,24 +142,34 @@ def _config_from(
         overrides["restricted"] = True
     if shards is not None:
         overrides["maestro_shards"] = shards
-    # sweep passes --masters/--batch as comma lists it consumes itself; a
-    # single value still applies to the machine directly.
-    for flag, field_name in (("masters", "master_cores"), ("batch", "submission_batch")):
+    # sweep passes --masters/--batch/--retire-depth as comma lists it
+    # consumes itself; a single value still applies to the machine directly.
+    for flag, field_name in (
+        ("masters", "master_cores"),
+        ("batch", "submission_batch"),
+        ("retire_depth", "retire_pipeline_depth"),
+    ):
         value = getattr(args, flag, None)
         if isinstance(value, int):
             overrides[field_name] = value
         elif isinstance(value, str):
             if not value.isdigit():
                 raise SystemExit(
-                    f"--{flag} must be a positive integer (a comma list is "
-                    f"only valid in a --masters sweep); got {value!r}"
+                    f"--{flag.replace('_', '-')} must be a positive integer "
+                    "(a comma list is only valid in the matching sweep); "
+                    f"got {value!r}"
                 )
             overrides[field_name] = int(value)
     if getattr(args, "hop_ns", None) is not None:
         from .sim import NS
 
         overrides["shard_hop_time"] = args.hop_ns * NS
-    return SystemConfig(**overrides)
+    try:
+        return SystemConfig(**overrides)
+    except ValueError as exc:
+        # Configuration contradictions (e.g. --retire-depth 4 without a
+        # sharded --shards) should read as usage errors, not tracebacks.
+        raise SystemExit(str(exc)) from None
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -224,6 +239,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"mean {icn['mean_hops']:.2f} hops), "
             f"{shard_info['steals']} stolen dispatches"
         )
+        retire = shard_info.get("retire")
+        if retire and retire["pipeline_depth"] > 1:
+            mean = sum(retire["inflight_mean"]) / len(retire["inflight_mean"])
+            print(
+                f"retire pipeline: depth {retire['pipeline_depth']}, "
+                f"mean in-flight {mean:.2f}, "
+                f"max {max(retire['inflight_max'])}, "
+                f"pipe-full {max(retire['full_fraction']):.0%} (worst shard)"
+            )
     frontend = result.stats.get("frontend")
     if frontend:
         print(
@@ -237,12 +261,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args)
+    if args.retire_depth and "," in str(args.retire_depth):
+        return _retire_sweep(trace, args)
     if args.masters:
         return _master_sweep(trace, args)
     if args.shards:
         return _shard_sweep(trace, args)
     cfg = _config_from(args)
-    cores = [int(c) for c in args.cores.split(",")]
+    cores = _int_values("cores", args.cores)
     curve = speedup_curve(trace, cores, cfg)
     rows = [[c, round(s, 2), f"{s / c:.2f}"] for c, s in curve.rows()]
     print(render_table(["cores", "speedup", "efficiency"], rows, trace.name))
@@ -260,6 +286,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _int_values(flag: str, value) -> list[int]:
+    """Parse a --flag value that may be a comma list of positive integers;
+    malformed input is a usage error, not a traceback."""
+    try:
+        out = [int(v) for v in str(value).split(",")]
+    except ValueError:
+        raise SystemExit(
+            f"--{flag} expects an integer or comma list of integers; "
+            f"got {value!r}"
+        ) from None
+    if any(v < 1 for v in out):
+        raise SystemExit(f"--{flag} values must be positive; got {value!r}")
+    return out
+
+
 def _write_json(path: str, payload: dict) -> None:
     import json
 
@@ -270,8 +311,19 @@ def _write_json(path: str, payload: dict) -> None:
 
 def _shard_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     """Maestro shard-scaling curve at a fixed worker count."""
-    shard_counts = [int(s) for s in args.shards.split(",")]
-    cfg = _config_from(args)
+    shard_counts = _int_values("shards", args.shards)
+    depth = getattr(args, "retire_depth", None)
+    if depth is not None:
+        depth = _int_values("retire-depth", depth)[0]
+    if depth is not None and depth > 1 and min(shard_counts) < 2:
+        raise SystemExit(
+            f"--retire-depth {depth} needs the sharded engine at every "
+            "swept point; drop shard count 1 from --shards (the retire "
+            "pipeline has no meaning on the single-Maestro machine)"
+        )
+    # Build the base config at a swept shard count so sharded-only knobs
+    # (e.g. --retire-depth) validate; the sweep overrides it per point.
+    cfg = _config_from(args, shards=max(shard_counts))
     report = shard_scaling_sweep(trace, shard_counts, cfg)
     rows = [
         [
@@ -297,10 +349,56 @@ def _shard_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     return 0
 
 
+def _retire_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
+    """Retire pipeline-depth scaling curve at fixed workers/shards/masters."""
+    depths = _int_values("retire-depth", args.retire_depth)
+    args.retire_depth = None  # the sweep itself varies the depth
+    shards = _int_values("shards", args.shards) if args.shards else []
+    if len(shards) != 1 or shards[0] < 2:
+        raise SystemExit(
+            "--retire-depth sweeps the retire pipeline at a fixed shard "
+            "count; give --shards a single value > 1 (the pipeline lives "
+            "in the sharded engine)"
+        )
+    cfg = _config_from(args, shards=shards[0])
+    report = retire_scaling_sweep(trace, depths, cfg)
+    rows = [
+        [
+            r["depth"],
+            r["task_pool_ports"],
+            f"{r['makespan_ps'] / 1e9:.4g}",
+            round(r["speedup_vs_baseline"], 2),
+            round(r["retire_inflight_mean"], 2),
+            f"{r['retire_full_fraction']:.0%}",
+            r["busiest_maestro_block"],
+        ]
+        for r in report.rows()
+    ]
+    print(
+        render_table(
+            [
+                "depth",
+                "TP ports",
+                "makespan (ms)",
+                f"speedup vs depth {report.baseline_depth}",
+                "mean in-flight",
+                "pipe full",
+                "busiest block",
+            ],
+            rows,
+            f"{trace.name} @ {cfg.workers} workers, {cfg.maestro_shards} shard(s), "
+            f"{cfg.master_cores} master(s)",
+        )
+    )
+    if args.json:
+        _write_json(args.json, report.to_json_dict())
+    return 0
+
+
 def _master_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     """Submission front-end scaling curve at fixed workers and shards."""
-    master_counts = [int(m) for m in str(args.masters).split(",")]
-    batch_sizes = [int(b) for b in str(args.batch or "1").split(",")]
+    master_counts = _int_values("masters", args.masters)
+    batch_sizes = _int_values("batch", args.batch or "1")
     shards = None
     if args.shards:
         if "," in args.shards:
@@ -384,6 +482,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_info.add_argument(
         "--batch", type=int, default=None, help="TDs per submission bus transaction"
     )
+    p_info.add_argument(
+        "--retire-depth", type=int, default=None,
+        help="finishes in flight per shard's retire front-end",
+    )
     p_info.set_defaults(func=_cmd_info)
 
     p_wl = sub.add_parser("workloads", help="list workload generators")
@@ -397,6 +499,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_run.add_argument("--masters", type=int, default=None, help="master core count")
     p_run.add_argument(
         "--batch", type=int, default=None, help="TDs per submission bus transaction"
+    )
+    p_run.add_argument(
+        "--retire-depth", type=int, default=None,
+        help="finishes in flight per shard's retire front-end",
     )
     p_run.add_argument("--verify", action="store_true", help="check schedule legality")
     p_run.add_argument("--bottleneck", action="store_true", help="attribute the bottleneck")
@@ -424,6 +530,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--batch",
         default=None,
         help="TDs per bus transaction (comma list allowed with --masters)",
+    )
+    p_sweep.add_argument(
+        "--retire-depth",
+        default=None,
+        help="finishes in flight per shard's retire front-end; a comma "
+        "list switches to a retire pipeline-depth sweep (fixed --shards)",
     )
     p_sweep.add_argument("--json", default=None, help="write the sweep report to a JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)

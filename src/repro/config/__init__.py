@@ -7,6 +7,7 @@ from .presets import (
     nexus_restricted,
     no_prep_delay,
     paper_default,
+    pipelined_retire,
     sharded_maestro,
 )
 from .system_config import BUS_MODEL_FITTED, BUS_MODEL_FORMULA, SystemConfig
@@ -22,4 +23,5 @@ __all__ = [
     "fast_functional",
     "sharded_maestro",
     "multi_master",
+    "pipelined_retire",
 ]

@@ -12,6 +12,7 @@ __all__ = [
     "fast_functional",
     "sharded_maestro",
     "multi_master",
+    "pipelined_retire",
 ]
 
 
@@ -73,6 +74,34 @@ def multi_master(
     """
     return SystemConfig(
         workers=workers,
+        master_cores=masters,
+        submission_batch=batch,
+        maestro_shards=shards,
+        **overrides,
+    )
+
+
+def pipelined_retire(
+    depth: int = 4,
+    masters: int = 4,
+    batch: int = 8,
+    shards: int = 4,
+    workers: int = 16,
+    **overrides,
+) -> SystemConfig:
+    """Pipelined per-shard retirement on top of the multi-master sharded
+    machine (beyond the paper): each shard's retire front-end keeps up to
+    ``depth`` finishes in flight, tagging finish scatter/gather with retire
+    tickets so param read, table update, reply gather and chain free of
+    successive tasks overlap.
+
+    Defaults pair the pipeline with the 4-master/4-shard machine PR 2's
+    submission sweep showed to be retire-bound (the ~31 us ceiling on the
+    hazard-dense bench workload).
+    """
+    return SystemConfig(
+        workers=workers,
+        retire_pipeline_depth=depth,
         master_cores=masters,
         submission_batch=batch,
         maestro_shards=shards,

@@ -96,6 +96,23 @@ class SystemConfig:
     #: is 1 (differential-testing switch; the production machine uses the
     #: dedicated single-Maestro engine at 1 shard).
     force_sharded_maestro: bool = False
+    #: Finishes each shard's retire front-end may keep in flight at once.
+    #: 1 reproduces the serialized retire loop (param read, finish scatter,
+    #: reply gather and chain free complete for one task before the next
+    #: starts — cycle-for-cycle the pre-pipelining machine); N > 1 tags the
+    #: finish scatter/gather with retire tickets so successive finishes
+    #: overlap, bounded by the N ticket slots (backpressure when exhausted).
+    #: A sharded-engine knob: raising it on a single-Maestro machine is an
+    #: error rather than a silent no-op.
+    retire_pipeline_depth: int = 1
+    #: Concurrent Task Pool access ports (a banked/multi-ported SRAM; the
+    #: paper's per-entry busy bits allow concurrent access to distinct
+    #: entries, which a single arbitration port under-models).  ``None``
+    #: provisions one port per *per-shard ticket slot* — i.e.
+    #: ``retire_pipeline_depth`` ports, shared by all shards and blocks —
+    #: so the depth-1 machine keeps the paper-exact single port and a
+    #: deeper retire pipeline scales its TP bandwidth with its depth.
+    task_pool_ports: Optional[int] = None
 
     # ---- master core / on-chip bus ----------------------------------------------
     #: Number of master cores generating Task Descriptors.  1 reproduces the
@@ -166,6 +183,9 @@ class SystemConfig:
             ("memory_batch_chunks", self.memory_batch_chunks),
             ("maestro_shards", self.maestro_shards),
             ("shard_inbox_entries", self.shard_inbox_entries),
+            ("retire_pipeline_depth", self.retire_pipeline_depth),
+            # (retire_pipeline_depth > 1 additionally requires the sharded
+            # engine; checked below once use_sharded_maestro is decidable.)
             ("master_cores", self.master_cores),
             ("submission_batch", self.submission_batch),
         ]
@@ -201,6 +221,14 @@ class SystemConfig:
         if self.dependence_table_entries_per_shard is not None:
             if self.dependence_table_entries_per_shard < 1:
                 raise ValueError("dependence_table_entries_per_shard must be >= 1")
+        if self.retire_pipeline_depth > 1 and not self.use_sharded_maestro:
+            raise ValueError(
+                "retire_pipeline_depth > 1 requires the sharded Maestro "
+                "engine (set maestro_shards > 1 or force_sharded_maestro); "
+                "the single-Maestro machine would silently ignore it"
+            )
+        if self.task_pool_ports is not None and self.task_pool_ports < 1:
+            raise ValueError("task_pool_ports must be >= 1")
 
     # ---- derived quantities -----------------------------------------------------------
 
@@ -241,6 +269,14 @@ class SystemConfig:
         (ceiling) across the master cores, so total front-end buffering
         stays comparable to the single-master machine."""
         return -(-self.tds_sizes_list_entries // self.master_cores)
+
+    @property
+    def tp_ports(self) -> int:
+        """Effective Task Pool port count (one per per-shard ticket slot —
+        ``retire_pipeline_depth`` — when ``task_pool_ports`` derives)."""
+        if self.task_pool_ports is not None:
+            return self.task_pool_ports
+        return self.retire_pipeline_depth
 
     @property
     def dt_entries_per_shard(self) -> int:
@@ -329,6 +365,8 @@ class SystemConfig:
                     f"{self.dt_entries_per_shard} entries",
                 ),
                 ("Shard inbox depth", str(self.shard_inbox_entries)),
+                ("Retire pipeline depth", str(self.retire_pipeline_depth)),
+                ("Task Pool ports", str(self.tp_ports)),
             ]
         return [
             ("Cores clock freq.", f"{self.core_clock_hz / 1e9:g} GHz"),

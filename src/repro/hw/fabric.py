@@ -21,20 +21,58 @@ sequence-numbered :class:`MergeUnit` reassembles global program order in
 front of Write TP.  With one master the buffers and merge unit are not
 built and the master feeds the central TDs Buffer directly, exactly as in
 the paper.
+
+A third extension pipelines the *retirement* side
+(``config.retire_pipeline_depth``): each shard's retire front-end owns a
+pool of **retire tickets** (``retire_tickets``), and every finish-scatter
+message and finish reply carries its ticket so the per-shard, per-ticket
+gather tables (``retire_gather``) can count replies for several in-flight
+finishes independently.
+
+Interconnect message formats (payloads of :meth:`Interconnect.message`):
+
+==================  =================================  =======================
+queue               payload                            direction
+==================  =================================  =======================
+``check_inbox``     ``(head, home, param, n_params)``  home shard -> owner
+``reply_inbox``     ``(head, n_params)``               owner -> home (gather)
+``finish_inbox``    ``(head, src, ticket, param)``     retiring shard -> owner
+``retire_inbox``    ``ticket``                         owner -> retiring shard
+==================  =================================  =======================
+
+``ticket`` is the retire-ticket slot (0 .. ``retire_pipeline_depth`` - 1)
+the retiring shard charged for the finish; replies are matched to their
+task through ``retire_gather[src][ticket]``, never by arrival order.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..config import SystemConfig
-from ..sim import Fifo, Resource, Signal, Simulator
+from ..sim import Fifo, LevelStat, Resource, Signal, Simulator
 from ..traces.trace import TaskTrace, TraceTask
 from .dependence_table import DependenceTable, shard_hash
 from .memory import MemorySystem
 from .task_pool import TaskPool
 
-__all__ = ["Fabric", "Interconnect", "MergeUnit"]
+__all__ = ["Fabric", "Interconnect", "MergeUnit", "RetireSlot"]
+
+
+@dataclass
+class RetireSlot:
+    """Per-ticket gather state of one in-flight finish.
+
+    Registered in ``Fabric.retire_gather[shard][ticket]`` *before* the first
+    finish-scatter message leaves the shard, so a reply can never find its
+    ticket missing; ``remaining`` counts the outstanding finish replies and
+    the slot is torn down when it reaches zero.
+    """
+
+    head: int  #: Task Pool head index of the finishing task.
+    core: int  #: Worker core to recycle once the chain is freed.
+    remaining: int  #: Finish replies still outstanding.
 
 
 class MergeUnit:
@@ -163,9 +201,14 @@ class Fabric:
         self.task_pool = TaskPool(
             config.task_pool_entries, config.max_params_per_td, config.restricted
         )
-        # Single-ported SRAMs: concurrent Maestro blocks arbitrate for access
-        # (the paper's per-entry busy bits have the same effect).
-        self.tp_port = Resource(sim, 1, name="tp-port")
+        # The Task Pool SRAM exposes ``tp_ports`` concurrent access ports
+        # (default: one, the paper's single arbitration; a pipelined retire
+        # machine derives retire_pipeline_depth ports, shared by all shards
+        # and blocks — per-entry busy bits in the real hardware allow
+        # concurrent access to distinct entries, which a single port
+        # under-models).  Maestro blocks arbitrate for a port per table
+        # operation.
+        self.tp_port = Resource(sim, config.tp_ports, name="tp-port")
         if not self.sharded:
             self.dep_table = DependenceTable(
                 config.dependence_table_entries,
@@ -353,6 +396,33 @@ class Fabric:
         ]
         #: TP head index -> home shard of the in-flight task's descriptor.
         self.home_of: Dict[int, int] = {}
+        # Retire pipelining: each shard's front-end charges one ticket per
+        # finish it puts in flight; an empty ticket FIFO is the backpressure
+        # that bounds the pipeline at ``retire_pipeline_depth``.
+        depth = config.retire_pipeline_depth
+        self.retire_tickets: List[Fifo] = [
+            Fifo(sim, depth, f"s{s}-retire-tickets") for s in range(n)
+        ]
+        for fifo in self.retire_tickets:
+            for ticket in range(depth):
+                if not fifo.try_put(ticket):
+                    raise ValueError("retire ticket FIFO cannot hold all tickets")
+        #: Per-shard per-ticket gather tables: ticket -> RetireSlot.
+        self.retire_gather: List[Dict[int, RetireSlot]] = [{} for _ in range(n)]
+        #: Time-weighted in-flight finish count per shard (mean, histogram
+        #: and pipeline-full fraction feed the machine's retire stats).
+        self.retire_inflight: List[LevelStat] = [LevelStat(sim) for _ in range(n)]
+        self._retire_inflight_count: List[int] = [0] * n
+
+    def note_retire_issue(self, s: int) -> None:
+        """Record one more finish in flight at shard ``s`` (stats only)."""
+        self._retire_inflight_count[s] += 1
+        self.retire_inflight[s].record(self._retire_inflight_count[s])
+
+    def note_retire_done(self, s: int) -> None:
+        """Record one finish leaving flight at shard ``s`` (stats only)."""
+        self._retire_inflight_count[s] -= 1
+        self.retire_inflight[s].record(self._retire_inflight_count[s])
 
     # ---- shard routing ---------------------------------------------------------
 

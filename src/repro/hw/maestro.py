@@ -26,7 +26,14 @@ exactly.
 Timing: every table access costs ``on_chip_access_time`` (hash lookups cost
 one access per probe), FIFO manipulations cost one Nexus cycle, and TD
 transfers to Task Controllers use the on-chip-bus word timing.  Tables are
-single-ported: blocks arbitrate through ``tp_port``/``dt_port``.
+port-arbitrated through ``tp_port``/``dt_port`` (the Task Pool exposes
+``SystemConfig.tp_ports`` concurrent ports; the paper-default machine has
+one).
+
+Three block bodies are shared with the sharded Maestro so their timing
+cannot drift between engines (the differential tests compare them):
+:func:`write_tp_block`, :func:`send_tds_block` and
+:func:`retire_free_block` (the chain-free tail of retirement).
 """
 
 from __future__ import annotations
@@ -35,7 +42,26 @@ from ..scoreboard import Scoreboard
 from ..sim import BusyTracker
 from .fabric import Fabric
 
-__all__ = ["TaskMaestro", "write_tp_block", "send_tds_block"]
+__all__ = ["TaskMaestro", "write_tp_block", "send_tds_block", "retire_free_block"]
+
+
+def retire_free_block(fab: Fabric, head: int):
+    """Free a retired task's Task Pool chain and recycle its indices.
+
+    The timing model is shared by the single Maestro's Handle Finished and
+    by both retire paths of the sharded Maestro (serialized and pipelined),
+    so the chain-free cost cannot drift between engines: one arbitration on
+    the Task Pool port, ``accesses * on_chip`` for the chain walk, then the
+    freed indices re-enter the TP Free Indices list.
+    """
+    sim = fab.sim
+    yield fab.tp_port.acquire()
+    freed, accesses = fab.task_pool.free_chain(head)
+    yield sim.timeout(accesses * fab.on_chip)
+    fab.tp_port.release()
+    del fab.inflight[head]
+    for idx in freed:
+        yield fab.tp_free.put(idx)
 
 
 def write_tp_block(fab: Fabric, scoreboard: Scoreboard, busy: BusyTracker,
@@ -241,13 +267,7 @@ class TaskMaestro:
                     self.scoreboard.records[waiter_task.tid].ready = sim.now
                     yield fab.global_ready.put(waiter_head)
             # Retire: free the Task Pool chain, recycle index and core slot.
-            yield fab.tp_port.acquire()
-            freed, accesses = fab.task_pool.free_chain(head)
-            yield sim.timeout(accesses * fab.on_chip)
-            fab.tp_port.release()
-            del fab.inflight[head]
-            for idx in freed:
-                yield fab.tp_free.put(idx)
+            yield from retire_free_block(fab, head)
             self.busy["handle_finished"].end()
             yield fab.worker_ids.put(core)
             self.retired += 1

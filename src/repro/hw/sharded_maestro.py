@@ -39,18 +39,48 @@ Protocol
 * **Send TDs** (per shard) — each shard streams Task Descriptors to its own
   workers over its own link (the single Maestro's one shared bus becomes
   one bus per shard).
-* **Retire front-end / Finish engine** (per shard) — a finished task's
-  parameters scatter to their owning shards; each finish engine updates its
-  table slice, kicks off released waiters (forwarding ready tasks to their
-  home shards) and replies; the front-end gathers the replies, then frees
-  the Task Pool chain and recycles the worker core.
+* **Retire front-end** (per shard) — the issue half of retirement: pops a
+  task-finished notification, charges a **retire ticket** (the in-flight
+  bound: an empty ticket FIFO backpressures the front-end at
+  ``retire_pipeline_depth`` finishes in flight), reads the parameter list
+  from the Task Pool and scatters one ticket-tagged finish message per
+  parameter to the owning shards.  At depth 1 the same process also
+  gathers the replies and frees the chain inline — cycle-for-cycle the
+  pre-pipelining serialized loop (differential-tested).
+* **Finish engine** (per shard) — services ticket-tagged finish messages:
+  updates its table slice, kicks off released waiters (forwarding ready
+  tasks to their home shards) and posts the ticket back to the retiring
+  shard's reply inbox.
+* **Retire completion** (per shard, ``retire_pipeline_depth`` > 1) — the
+  gather half of retirement: counts each reply against its ticket's entry
+  in the per-shard gather table (``fabric.retire_gather``), and when a
+  ticket's last reply lands frees the Task Pool chain, recycles the ticket
+  and returns the worker core.  Tickets complete in *reply-arrival* order,
+  not issue order — the completion unit is a reorder/free stage; chain
+  frees are order-independent because the TP Free Indices list is a pool.
+
+Message formats (ticket fields included) are tabulated in
+:mod:`repro.hw.fabric`; the per-shard block names this module exposes in
+``maestro_utilization`` stats are ``s{N}.check``, ``s{N}.gather``,
+``s{N}.schedule``, ``s{N}.send_tds``, ``s{N}.finish``, ``s{N}.retire``
+(issue half) and ``s{N}.retire_done`` (completion half; idle at depth 1),
+plus the central ``write_tp`` and ``scatter``.
+
+Finish-path ordering invariant (load-bearing for pipelined retirement):
+each shard's retire front-end is the *only* injector of its finish
+messages and scatters them serially in finish order, and the interconnect
+delivers in order per (source, destination) — so two in-flight finishes
+from the same shard that touch the same Dependence Table entry apply in
+finish order at the owning shard's serial finish engine.  Finishes from
+*different* shards interleave arbitrarily, exactly as they already did at
+depth 1; both tasks have finished, so their table updates commute.
 
 With ``maestro_shards=1`` this protocol is a pipelined refinement of the
 single Maestro (scatter/gather stages are explicit), not a cycle-exact
 reproduction of it — the production machine therefore keeps the dedicated
 :class:`~repro.hw.maestro.TaskMaestro` at one shard, and the differential
 tests pin both the one-shard equivalence of that engine and the schedule
-legality of this one at every shard count.
+legality of this one at every shard count and retire depth.
 """
 
 from __future__ import annotations
@@ -59,8 +89,8 @@ from typing import Dict
 
 from ..scoreboard import Scoreboard
 from ..sim import BusyTracker
-from .fabric import Fabric
-from .maestro import send_tds_block, write_tp_block
+from .fabric import Fabric, RetireSlot
+from .maestro import retire_free_block, send_tds_block, write_tp_block
 
 __all__ = ["ShardedMaestro"]
 
@@ -70,8 +100,18 @@ class ShardedMaestro:
 
     #: Central blocks (one process each).
     CENTRAL_BLOCKS = ("write_tp", "scatter")
-    #: Per-shard blocks (one process per shard each).
-    SHARD_BLOCKS = ("check", "gather", "schedule", "send_tds", "finish", "retire")
+    #: Per-shard blocks (one process per shard each).  ``retire`` is the
+    #: issue half of the retire front-end, ``retire_done`` the completion
+    #: half (a separate process only when ``retire_pipeline_depth`` > 1).
+    SHARD_BLOCKS = (
+        "check",
+        "gather",
+        "schedule",
+        "send_tds",
+        "finish",
+        "retire",
+        "retire_done",
+    )
 
     def __init__(self, fabric: Fabric, scoreboard: Scoreboard):
         if not fabric.sharded:
@@ -98,6 +138,7 @@ class ShardedMaestro:
         sim = self.fabric.sim
         sim.process(self._write_tp(), name="smaestro.write-tp")
         sim.process(self._check_scatter(), name="smaestro.check-scatter")
+        pipelined = self.fabric.config.retire_pipeline_depth > 1
         for s in range(self.n_shards):
             sim.process(self._check_engine(s), name=f"smaestro.s{s}.check")
             sim.process(self._gather(s), name=f"smaestro.s{s}.gather")
@@ -105,6 +146,13 @@ class ShardedMaestro:
             sim.process(self._send_tds(s), name=f"smaestro.s{s}.send-tds")
             sim.process(self._finish_engine(s), name=f"smaestro.s{s}.finish")
             sim.process(self._retire_frontend(s), name=f"smaestro.s{s}.retire")
+            if pipelined:
+                # At depth 1 the front-end gathers inline; starting an idle
+                # completion process would add a t=0 event and could perturb
+                # same-timestamp tie-breaking in the differential-pinned run.
+                sim.process(
+                    self._retire_complete(s), name=f"smaestro.s{s}.retire-done"
+                )
 
     # ---- receive helper --------------------------------------------------------
 
@@ -240,53 +288,104 @@ class ShardedMaestro:
             self.fabric, self.fabric.td_request_shard[s], self.busy[f"s{s}.send_tds"]
         )
 
-    # ---- Retire front-end (per shard: scatter finishes, gather, free) --------------
+    # ---- Retire front-end (per shard: issue half — param read + finish scatter) ----
 
     def _retire_frontend(self, s: int):
         fab = self.fabric
         sim = fab.sim
         busy = self.busy[f"s{s}.retire"]
+        pipelined = fab.config.retire_pipeline_depth > 1
         while True:
             core = yield fab.finished_notify_shard[s].get()
             busy.begin()
             yield sim.timeout(fab.cycle)  # observe + acknowledge the 1-bit line
             head = yield fab.fin_fifo[core].get()
             task = fab.task_of(head)
+            if pipelined:
+                # Charge a retire ticket: an empty ticket FIFO is the
+                # backpressure that bounds the in-flight finish count.
+                ticket = yield fab.retire_tickets[s].get()
+            else:
+                # Serialized mode never has a second finish in flight, so
+                # ticket slot 0 is always free — no FIFO event, keeping the
+                # depth-1 machine cycle-identical to the pre-pipelining one.
+                ticket = 0
+            fab.note_retire_issue(s)
             yield fab.tp_port.acquire()
             params, accesses = fab.task_pool.read_params(head)
             yield sim.timeout(accesses * fab.on_chip)
             fab.tp_port.release()
+            if pipelined:
+                # Register the gather entry before the first scatter message
+                # leaves: a reply can never find its ticket missing.
+                fab.retire_gather[s][ticket] = RetireSlot(
+                    head=head, core=core, remaining=len(params)
+                )
             for param in params:
                 owner = fab.shard_of(param.addr)
                 yield sim.timeout(fab.cycle)
-                msg = fab.icn.message(s, owner, (head, s, param))
+                msg = fab.icn.message(s, owner, (head, s, ticket, param))
                 yield fab.finish_inbox[owner].put(msg)
-            # One finish in flight per shard, so every reply in this inbox
-            # belongs to the task being retired.
+            if pipelined:
+                # Hand off to the completion unit; the front-end is free to
+                # issue the next finish while replies are still in flight.
+                busy.end()
+                continue
+            # Serialized (depth 1) tail: gather the replies inline — the one
+            # finish in flight is ticket 0, so the reply count alone closes
+            # it — then free the chain and recycle the core.
             for _ in params:
                 yield from self._recv(fab.retire_inbox[s])
-            yield fab.tp_port.acquire()
-            freed, accesses = fab.task_pool.free_chain(head)
-            yield sim.timeout(accesses * fab.on_chip)
-            fab.tp_port.release()
-            del fab.inflight[head]
             del fab.home_of[head]
-            for idx in freed:
-                yield fab.tp_free.put(idx)
+            yield from retire_free_block(fab, head)
+            fab.note_retire_done(s)
             busy.end()
             yield fab.worker_pools[fab.core_shard(core)].put(core)
+            self.retired += 1
+            self.scoreboard.note_completed(task.tid, sim.now)
+
+    # ---- Retire completion (per shard: gather half — per-ticket reply count) -------
+
+    def _retire_complete(self, s: int):
+        fab = self.fabric
+        sim = fab.sim
+        busy = self.busy[f"s{s}.retire_done"]
+        gather = fab.retire_gather[s]
+        while True:
+            ticket = yield from self._recv(fab.retire_inbox[s])
+            slot = gather[ticket]
+            slot.remaining -= 1
+            if slot.remaining:
+                continue
+            # Last reply for this ticket: retire the task.  Tickets close in
+            # reply-arrival order (a reorder/free stage), which is safe —
+            # the TP Free Indices list is an unordered pool and no other
+            # block touches a head past its finish scatter.
+            busy.begin()
+            del gather[ticket]
+            task = fab.task_of(slot.head)
+            del fab.home_of[slot.head]
+            yield from retire_free_block(fab, slot.head)
+            fab.note_retire_done(s)
+            busy.end()
+            yield fab.retire_tickets[s].put(ticket)
+            yield fab.worker_pools[fab.core_shard(slot.core)].put(slot.core)
             self.retired += 1
             self.scoreboard.note_completed(task.tid, sim.now)
 
     # ---- Finish engine (per shard: table update + kick-offs) -----------------------
 
     def _finish_engine(self, s: int):
+        # Per-address ordering on the finish path: messages for one address
+        # from one retiring shard arrive in finish order (serial scatter +
+        # in-order delivery per source) and this engine applies them in
+        # arrival order — the rule that keeps pipelined retirement safe.
         fab = self.fabric
         sim = fab.sim
         table = fab.dep_shards[s]
         busy = self.busy[f"s{s}.finish"]
         while True:
-            head, src, param = yield from self._recv(fab.finish_inbox[s])
+            head, src, ticket, param = yield from self._recv(fab.finish_inbox[s])
             busy.begin()
             yield fab.dt_ports[s].acquire()
             kicked, accesses = table.finish_param(
@@ -310,7 +409,9 @@ class ShardedMaestro:
                     yield fab.shard_ready[home].put(waiter_head)
                     yield fab.ready_tickets.put(home)
             busy.end()
-            yield fab.retire_inbox[src].put(fab.icn.message(s, src, head))
+            # The reply is the ticket: the retiring shard's gather table
+            # maps it back to the task, never relying on arrival order.
+            yield fab.retire_inbox[src].put(fab.icn.message(s, src, ticket))
 
     # ---- aggregate statistics ------------------------------------------------------
 

@@ -5,9 +5,11 @@ from .machine import NexusMachine, run_trace
 from .results import RunResult, Scoreboard, TaskRecord
 from .sweep import (
     MasterScalingReport,
+    RetireScalingReport,
     ShardScalingReport,
     SpeedupCurve,
     master_scaling_sweep,
+    retire_scaling_sweep,
     shard_scaling_sweep,
     speedup_curve,
     sweep_parameter,
@@ -26,6 +28,8 @@ __all__ = [
     "shard_scaling_sweep",
     "MasterScalingReport",
     "master_scaling_sweep",
+    "RetireScalingReport",
+    "retire_scaling_sweep",
     "BottleneckReport",
     "analyze_bottleneck",
 ]

@@ -12,7 +12,13 @@ The attribution compares stage occupancies over the run:
 * **master** — the master core's per-task preparation/submission time
   (plus stall time waiting on a full TDs Buffer);
 * one of the five **Maestro blocks** (Write TP, Check Deps, Schedule,
-  Send TDs, Handle Finished);
+  Send TDs, Handle Finished) — per-shard blocks (``maestro.s{N}.*``) on a
+  sharded machine;
+* **retire** — on a sharded machine, the share of the run the most
+  backpressured shard spent with every retire ticket in flight (its
+  pipeline full); the verdict when that exceeds 50% *and* a retire block
+  is the busiest Maestro stage — the combination a deeper
+  ``retire_pipeline_depth`` fixes;
 * **memory** — mean busy banks against the bank count;
 * **workers** — mean worker-core execution occupancy;
 * **application** — none of the above saturated: the dependency structure
@@ -31,6 +37,14 @@ __all__ = ["BottleneckReport", "analyze_bottleneck"]
 
 #: Occupancy above which a stage is considered saturated.
 _SATURATION = 0.90
+#: Pipeline-full fraction above which the retire front-end is the verdict
+#: — but only when a retire block is also the busiest Maestro stage, since
+#: at depth 1 "full" merely means one finish is in service (busy), not
+#: that finishes are queueing behind it.  The two signals together (most
+#: loaded stage *and* pipeline full most of the run) are what a deeper
+#: ``retire_pipeline_depth`` actually fixes, so the bar sits below the
+#: plain busy-fraction saturation bar.
+_RETIRE_BACKPRESSURE = 0.50
 
 
 @dataclass(frozen=True)
@@ -47,6 +61,14 @@ class BottleneckReport:
     def describe(self) -> str:
         top = ", ".join(f"{name} {occ:.0%}" for name, occ in self.ranked()[:3])
         return f"bottleneck: {self.verdict} (top occupancies: {top})"
+
+
+def _busiest_is_retire(occupancy: Dict[str, float]) -> bool:
+    """True when the most occupied Maestro block is a retire front-end."""
+    blocks = {k: v for k, v in occupancy.items() if k.startswith("maestro.")}
+    if not blocks:
+        return False
+    return max(blocks, key=blocks.get).endswith(".retire")
 
 
 def analyze_bottleneck(
@@ -79,6 +101,13 @@ def analyze_bottleneck(
     for block, util in result.stats.get("maestro_utilization", {}).items():
         occupancy[f"maestro.{block}"] = util
 
+    # Retire backpressure: a shard that spends the run with all its retire
+    # tickets charged is the pipeline stage holding everything else up,
+    # even when no single retire *block* saturates its busy tracker.
+    retire = result.stats.get("shards", {}).get("retire")
+    if retire and retire.get("full_fraction"):
+        occupancy["retire"] = max(retire["full_fraction"])
+
     memory = result.stats.get("memory", {})
     banks_busy = memory.get("mean_busy_banks", 0.0)
     if config is not None and config.memory_contention:
@@ -100,6 +129,10 @@ def analyze_bottleneck(
         verdict = max(
             (upstream or saturated).items(), key=lambda kv: kv[1]
         )[0]
+    elif occupancy.get("retire", 0.0) >= _RETIRE_BACKPRESSURE and _busiest_is_retire(
+        occupancy
+    ):
+        verdict = "retire"
     else:
         verdict = "application"
     return BottleneckReport(occupancy=occupancy, verdict=verdict)

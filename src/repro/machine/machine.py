@@ -127,11 +127,36 @@ class NexusMachine:
             "tasks_per_core": [tc.tasks_run for tc in controllers],
         }
         if fabric.sharded:
+            depth = cfg.retire_pipeline_depth
             stats["shards"] = {
                 "count": fabric.n_shards,
                 "interconnect": fabric.icn.stats(),
                 "steals": maestro.steals,
                 "per_shard_dep_table": maestro.shard_stats(),
+                # Retire front-end occupancy: time-weighted in-flight finish
+                # counts per shard.  ``full_fraction`` is the share of the
+                # run a shard spent with every retire ticket charged — the
+                # retire-backpressure signal bottleneck attribution reads.
+                "retire": {
+                    "pipeline_depth": depth,
+                    "inflight_mean": [
+                        round(st.mean(span), 4) for st in fabric.retire_inflight
+                    ],
+                    "inflight_max": [
+                        st.max_level for st in fabric.retire_inflight
+                    ],
+                    "inflight_histogram": [
+                        {
+                            lvl: round(frac, 4)
+                            for lvl, frac in st.histogram(span).items()
+                        }
+                        for st in fabric.retire_inflight
+                    ],
+                    "full_fraction": [
+                        round(st.fraction_at_or_above(depth, span), 4)
+                        for st in fabric.retire_inflight
+                    ],
+                },
             }
         if fabric.parallel_frontend:
             stats["frontend"] = {
@@ -163,6 +188,8 @@ class NexusMachine:
                 "maestro_shards": cfg.maestro_shards,
                 "master_cores": cfg.master_cores,
                 "submission_batch": cfg.submission_batch,
+                "retire_pipeline_depth": cfg.retire_pipeline_depth,
+                "task_pool_ports": cfg.tp_ports,
             },
         )
 

@@ -23,6 +23,8 @@ __all__ = [
     "shard_scaling_sweep",
     "MasterScalingReport",
     "master_scaling_sweep",
+    "RetireScalingReport",
+    "retire_scaling_sweep",
 ]
 
 
@@ -288,6 +290,111 @@ def master_scaling_sweep(
         workers=base.workers,
         shards=base.maestro_shards,
         points=points,
+        runs=runs,
+    )
+
+
+@dataclass
+class RetireScalingReport:
+    """Makespan vs retire pipeline depth at fixed workers/shards/masters.
+
+    Answers the question PR 2's submission sweep raised: once submission is
+    parallel the per-shard retire front-end is the ceiling — how far does
+    pipelining retirement (multiple ticket-tagged finishes in flight per
+    shard) lift it?  Each swept depth is the full pipelined-retire design
+    point: ``retire_pipeline_depth`` tickets per shard *and* the Task Pool
+    ports the config derives for them (``SystemConfig.tp_ports``), so depth
+    1 is exactly today's serialized machine.  Speedups are measured against
+    the depth-1 run when present, else the shallowest depth swept.
+    """
+
+    trace_name: str
+    workers: int
+    shards: int
+    depths: List[int]
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def baseline_depth(self) -> int:
+        return 1 if 1 in self.depths else min(self.depths)
+
+    @property
+    def speedups(self) -> List[float]:
+        base = self.runs[self.depths.index(self.baseline_depth)]
+        return [base.makespan / r.makespan for r in self.runs]
+
+    def at(self, depth: int) -> RunResult:
+        return self.runs[self.depths.index(depth)]
+
+    def rows(self) -> List[dict]:
+        """One report row per swept depth (used by the CLI and the bench)."""
+        out = []
+        for depth, run, speedup in zip(self.depths, self.runs, self.speedups):
+            util = run.stats.get("maestro_utilization", {})
+            retire = run.stats.get("shards", {}).get("retire", {})
+            inflight = retire.get("inflight_mean") or [0.0]
+            full = retire.get("full_fraction") or [0.0]
+            out.append(
+                {
+                    "depth": depth,
+                    "task_pool_ports": run.config_notes.get("task_pool_ports"),
+                    "makespan_ps": run.makespan,
+                    "speedup_vs_baseline": round(speedup, 4),
+                    "retire_inflight_mean": round(sum(inflight) / len(inflight), 4),
+                    "retire_inflight_max": max(
+                        retire.get("inflight_max") or [0]
+                    ),
+                    "retire_full_fraction": round(max(full), 4),
+                    "busiest_maestro_block": (
+                        max(util, key=util.get) if util else None
+                    ),
+                    "busiest_block_utilization": (
+                        round(max(util.values()), 4) if util else None
+                    ),
+                }
+            )
+        return out
+
+    def to_json_dict(self) -> dict:
+        return {
+            "trace": self.trace_name,
+            "workers": self.workers,
+            "shards": self.shards,
+            "baseline_depth": self.baseline_depth,
+            "rows": self.rows(),
+        }
+
+
+def retire_scaling_sweep(
+    trace: TaskTrace,
+    depths: Sequence[int],
+    config: Optional[SystemConfig] = None,
+) -> RetireScalingReport:
+    """Run ``trace`` once per retire pipeline depth (same machine otherwise).
+
+    ``config`` must use the sharded Maestro engine — the retire pipeline
+    lives in its per-shard front-ends; the single-Maestro machine has no
+    depth knob to sweep.  Leave ``task_pool_ports`` unset (``None``) so each
+    depth derives its own port provisioning; an explicit port count is kept
+    as given for every depth.
+    """
+    if not depths:
+        raise ValueError("need at least one retire pipeline depth")
+    base = config or SystemConfig()
+    if not base.use_sharded_maestro:
+        raise ValueError(
+            "retire_scaling_sweep needs the sharded Maestro engine: set "
+            "maestro_shards > 1 (or force_sharded_maestro) on the config"
+        )
+    runs = [
+        NexusMachine(base.with_(retire_pipeline_depth=d)).run(trace)
+        for d in depths
+    ]
+    return RetireScalingReport(
+        trace_name=trace.name,
+        workers=base.workers,
+        shards=base.maestro_shards,
+        depths=list(depths),
         runs=runs,
     )
 

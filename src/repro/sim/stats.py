@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .core import Simulator
 
-__all__ = ["OccupancyStat", "BusyTracker", "Sampler"]
+__all__ = ["OccupancyStat", "LevelStat", "BusyTracker", "Sampler"]
 
 
 class OccupancyStat:
@@ -48,6 +48,49 @@ class OccupancyStat:
             return float(self._level)
         area = self._area + self._level * (end - self._last_change)
         return area / span
+
+
+class LevelStat(OccupancyStat):
+    """An :class:`OccupancyStat` that also keeps a time-weighted histogram.
+
+    :meth:`histogram` answers "what fraction of the elapsed time was the
+    level exactly N?" — e.g. how long a retire front-end had 0, 1, ... k
+    finishes in flight — which the plain time-weighted mean cannot.
+    """
+
+    __slots__ = ("_time_at",)
+
+    def __init__(self, sim: "Simulator"):
+        super().__init__(sim)
+        self._time_at: dict[int, int] = {}
+
+    def record(self, level: int) -> None:
+        dt = self._sim.now - self._last_change
+        if dt:
+            self._time_at[self._level] = self._time_at.get(self._level, 0) + dt
+        super().record(level)
+
+    def histogram(self, until: Optional[int] = None) -> dict[int, float]:
+        """``{level: fraction of time spent at that level}`` from creation
+        to ``until`` (default: now).  Zero-time levels are omitted; the
+        fractions sum to 1.  Fractions are normalized over the recorded
+        time, so an ``until`` earlier than the last transition (a truncated
+        run) yields a coarse but well-formed distribution — never negative
+        or >1 entries."""
+        end = self._sim.now if until is None else until
+        times = dict(self._time_at)
+        tail = max(0, end - self._last_change)
+        if tail:
+            times[self._level] = times.get(self._level, 0) + tail
+        total = sum(times.values())
+        if total <= 0:
+            return {}
+        return {lvl: t / total for lvl, t in sorted(times.items()) if t}
+
+    def fraction_at_or_above(self, level: int, until: Optional[int] = None) -> float:
+        """Fraction of the span the level was ``>= level`` (pipeline-full
+        time when called with the pipeline's depth)."""
+        return sum(f for lvl, f in self.histogram(until).items() if lvl >= level)
 
 
 class BusyTracker:

@@ -1,0 +1,99 @@
+"""Docs-sync checks: ARCHITECTURE.md must stay true to the code.
+
+Grep-style assertions (no markdown parser): every backticked knob name in
+ARCHITECTURE.md's tables must be a real ``SystemConfig`` field, every
+scaling knob the config grew beyond the paper must be documented, and the
+entry points (README, ROADMAP) must link the document.
+"""
+
+import dataclasses
+import re
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.config import presets as presets_mod
+
+REPO = Path(__file__).resolve().parents[2]
+ARCHITECTURE = REPO / "ARCHITECTURE.md"
+
+#: Knobs added beyond the paper's Table IV; each PR that adds one must
+#: document it in ARCHITECTURE.md's knob table.
+SCALING_KNOBS = [
+    "maestro_shards",
+    "shard_hop_time",
+    "dependence_table_entries_per_shard",
+    "shard_inbox_entries",
+    "force_sharded_maestro",
+    "master_cores",
+    "submission_batch",
+    "retire_pipeline_depth",
+    "task_pool_ports",
+]
+
+
+def _doc_text() -> str:
+    assert ARCHITECTURE.exists(), "ARCHITECTURE.md missing from the repo root"
+    return ARCHITECTURE.read_text()
+
+
+def _table_knobs(text: str) -> set:
+    """Backticked names in the first column of any markdown table row."""
+    return set(re.findall(r"^\|\s*`(\w+)`\s*\|", text, flags=re.MULTILINE))
+
+
+def test_every_documented_knob_is_a_config_field():
+    fields = {f.name for f in dataclasses.fields(SystemConfig)}
+    documented = _table_knobs(_doc_text())
+    unknown = documented - fields
+    assert not unknown, (
+        f"ARCHITECTURE.md documents knobs that are not SystemConfig fields: "
+        f"{sorted(unknown)} — rename the rows or the fields"
+    )
+
+
+def test_every_scaling_knob_is_documented():
+    fields = {f.name for f in dataclasses.fields(SystemConfig)}
+    missing_fields = [k for k in SCALING_KNOBS if k not in fields]
+    assert not missing_fields, f"SCALING_KNOBS out of date: {missing_fields}"
+    documented = _table_knobs(_doc_text())
+    undocumented = [k for k in SCALING_KNOBS if k not in documented]
+    assert not undocumented, (
+        f"scaling knobs missing from ARCHITECTURE.md's knob table: "
+        f"{undocumented}"
+    )
+
+
+def test_documented_defaults_match_config():
+    """Spot-check the defaults column for the always-numeric knobs."""
+    cfg = SystemConfig()
+    text = _doc_text()
+    for knob in ("maestro_shards", "master_cores", "submission_batch",
+                 "retire_pipeline_depth", "shard_inbox_entries"):
+        row = re.search(
+            rf"^\|\s*`{knob}`\s*\|\s*([^|]+)\|", text, flags=re.MULTILINE
+        )
+        assert row, f"no table row for {knob}"
+        assert row.group(1).strip() == str(getattr(cfg, knob)), (
+            f"ARCHITECTURE.md default for {knob} ({row.group(1).strip()!r}) "
+            f"!= SystemConfig default ({getattr(cfg, knob)!r})"
+        )
+
+
+def test_presets_list_is_in_sync():
+    text = _doc_text()
+    for preset in presets_mod.__all__:
+        assert f"`{preset}`" in text, (
+            f"preset {preset!r} not mentioned in ARCHITECTURE.md"
+        )
+
+
+def test_entry_points_link_architecture_md():
+    assert "ARCHITECTURE.md" in (REPO / "README.md").read_text()
+    assert "ARCHITECTURE.md" in (REPO / "ROADMAP.md").read_text()
+
+
+def test_architecture_names_the_three_invariants():
+    text = _doc_text().lower()
+    for phrase in ("merge-unit ordering", "check-scatter per-address",
+                   "finish-order per-address"):
+        assert phrase in text, f"invariant {phrase!r} missing"

@@ -13,6 +13,12 @@ respects the golden dependence graph of :mod:`repro.runtime.task_graph`:
 The traces deliberately cross the hardware's spill thresholds (more
 parameters than one Task Descriptor holds, kick-off fan-out beyond one
 entry) so dummy-task and dummy-entry paths are validated too.
+
+The sharded engine is additionally validated at every retire pipeline
+depth: any ``retire_pipeline_depth`` must retire exactly the task set the
+serialized depth-1 machine retires, with a legal schedule, and in-flight
+finishes that touch the same Dependence Table entry must apply in finish
+order (the same-address regression below).
 """
 
 import pytest
@@ -22,6 +28,7 @@ from repro.machine import run_trace
 from repro.runtime.software_rts import run_software_rts
 from repro.runtime.task_graph import build_task_graph
 from repro.traces import random_trace
+from repro.traces.trace import AccessMode, Param, TaskTrace, TraceTask
 
 SEEDS = [0, 1, 2, 3, 4]
 
@@ -83,6 +90,67 @@ def test_sharded_maestro_with_tiny_shard_tables(seed):
     )
     result = run_trace(trace, cfg)
     _assert_legal(result, graph)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("depth", [2, 4, 7])
+def test_any_retire_depth_matches_depth_one_task_set(seed, depth):
+    """Property: for any ``retire_pipeline_depth``, the pipelined machine
+    produces a *legal* schedule that retires exactly the task set the
+    serialized (depth 1) machine retires — pipelining may reorder
+    retirement, never drop, duplicate or illegally reorder execution."""
+    trace = _trace(seed)
+    graph = build_task_graph(trace)
+    base_cfg = SystemConfig(workers=4, maestro_shards=2, memory_batch_chunks=8)
+    serial = run_trace(trace, base_cfg)
+    piped = run_trace(trace, base_cfg.with_(retire_pipeline_depth=depth))
+    _assert_legal(piped, graph)
+    serial_set = sorted(r.tid for r in serial.records if r.is_complete())
+    piped_set = sorted(r.tid for r in piped.records if r.is_complete())
+    assert piped_set == serial_set == list(range(len(trace)))
+
+
+def _same_address_trace(n_tasks: int = 60) -> TaskTrace:
+    """Every task touches one shared address: every finish message lands on
+    the same Dependence Table entry.  Alternating groups of independent
+    readers (which finish nearly simultaneously — several same-address
+    finishes in flight at once) and a single writer each reader group must
+    strictly precede/follow."""
+    addr = 0x1000
+    tasks = []
+    for tid in range(n_tasks):
+        mode = AccessMode.INOUT if tid % 5 == 4 else AccessMode.IN
+        tasks.append(
+            TraceTask(
+                tid=tid,
+                func=0,
+                params=(Param(addr, 64, mode),),
+                exec_time=500 + 37 * (tid % 7),
+            )
+        )
+    return TaskTrace("same-address", tasks)
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+@pytest.mark.parametrize("shards", [2, 4])
+def test_same_address_inflight_finishes_apply_in_order(depth, shards):
+    """Regression for the finish-path per-address rule: with several
+    finishes for one Dependence Table entry in flight concurrently, the
+    writer after each reader group must not be kicked off until *every*
+    reader's finish has been applied (a gather miscount or reordered
+    same-address update would release it early)."""
+    trace = _same_address_trace()
+    graph = build_task_graph(trace)
+    cfg = SystemConfig(
+        workers=4,
+        maestro_shards=shards,
+        retire_pipeline_depth=depth,
+        memory_contention=False,
+    )
+    result = run_trace(trace, cfg)
+    _assert_legal(result, graph)
+    assert all(r.is_complete() for r in result.records)
+    assert result.stats["dep_table"]["occupied"] == 0
 
 
 @pytest.mark.parametrize("seed", SEEDS[:3])

@@ -73,3 +73,50 @@ class TestReportShape:
         busy = result.stats["worker_busy_fraction"]
         assert len(busy) == 3
         assert all(0.0 <= b <= 1.0 for b in busy)
+
+
+class TestRetireVerdict:
+    def _result(self, depth=1):
+        """The retire-bound bench machine in miniature (hazard-dense flood)."""
+        from repro.config import BUS_MODEL_FITTED
+        from repro.traces import random_trace
+
+        trace = random_trace(
+            600, n_addresses=96, max_params=6, seed=7,
+            mean_exec=4000, mean_memory=0,
+        )
+        cfg = SystemConfig(
+            workers=16, maestro_shards=4, master_cores=4, submission_batch=8,
+            memory_contention=False, bus_model=BUS_MODEL_FITTED,
+            retire_pipeline_depth=depth,
+        )
+        return run_trace(trace, cfg), cfg
+
+    def test_serialized_retire_bound_run_is_attributed(self):
+        result, cfg = self._result(depth=1)
+        rep = analyze_bottleneck(result, cfg)
+        assert rep.verdict == "retire"
+        assert rep.occupancy["retire"] >= 0.5
+
+    def test_pipelined_run_is_no_longer_retire_bound(self):
+        result, cfg = self._result(depth=4)
+        rep = analyze_bottleneck(result, cfg)
+        assert rep.verdict != "retire"
+        assert rep.occupancy["retire"] < 0.5
+
+    def test_retire_verdict_needs_a_retire_busiest_block(self):
+        """A moderate pipe-full fraction alone must not flip the verdict
+        when some other Maestro stage is the most loaded one."""
+        from repro.machine.bottleneck import BottleneckReport, _busiest_is_retire
+
+        occupancy = {
+            "retire": 0.6,
+            "maestro.s0.finish": 0.8,
+            "maestro.s0.retire": 0.55,
+            "workers": 0.85,
+        }
+        assert not _busiest_is_retire(occupancy)
+        # and with a retire block on top, the signal combination holds
+        occupancy["maestro.s0.retire"] = 0.81
+        assert _busiest_is_retire(occupancy)
+        assert isinstance(BottleneckReport(occupancy=occupancy, verdict="retire"), BottleneckReport)

@@ -1,0 +1,59 @@
+"""Tests for the measurement helpers (LevelStat's time-weighted histogram)."""
+
+import pytest
+
+from repro.sim import LevelStat, Simulator
+
+
+def _advance(sim, dt):
+    """Run the clock forward by ``dt`` with a dummy process."""
+    def proc():
+        yield sim.timeout(dt)
+    sim.process(proc())
+    sim.run()
+
+
+def test_histogram_time_weighted_fractions():
+    sim = Simulator()
+    stat = LevelStat(sim)
+    stat.record(1)          # level 1 from t=0
+    _advance(sim, 100)
+    stat.record(2)          # level 2 from t=100
+    _advance(sim, 300)      # until t=400
+    hist = stat.histogram()
+    assert hist == {1: pytest.approx(0.25), 2: pytest.approx(0.75)}
+    assert stat.fraction_at_or_above(2) == pytest.approx(0.75)
+    assert stat.mean() == pytest.approx(1.75)
+    assert stat.max_level == 2
+
+
+def test_histogram_counts_open_tail_at_current_level():
+    sim = Simulator()
+    stat = LevelStat(sim)
+    _advance(sim, 50)       # level 0 for 50
+    stat.record(3)
+    _advance(sim, 50)       # level 3 for 50, no closing record
+    hist = stat.histogram()
+    assert hist == {0: pytest.approx(0.5), 3: pytest.approx(0.5)}
+
+
+def test_histogram_with_truncated_until_stays_well_formed():
+    """Regression: an ``until`` before the last transition (a truncated
+    run's span) must never yield negative or >1 fractions."""
+    sim = Simulator()
+    stat = LevelStat(sim)
+    stat.record(1)
+    _advance(sim, 100)
+    stat.record(2)          # at t=100
+    _advance(sim, 100)      # now t=200
+    hist = stat.histogram(until=150)
+    assert all(0.0 <= f <= 1.0 for f in hist.values())
+    assert sum(hist.values()) == pytest.approx(1.0)
+    assert stat.fraction_at_or_above(99, until=150) == 0.0
+
+
+def test_empty_histogram():
+    sim = Simulator()
+    stat = LevelStat(sim)
+    assert stat.histogram() == {}
+    assert stat.fraction_at_or_above(1) == 0.0

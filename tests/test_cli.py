@@ -143,3 +143,72 @@ class TestSubmissionFrontendCli:
         out = capsys.readouterr().out
         assert "Master cores" in out
         assert "Submission batch" in out
+
+
+class TestRetirePipelineCli:
+    def test_run_with_retire_depth(self, capsys):
+        rc = main(["run", "random", "--tasks", "60", "--addresses", "16",
+                   "--workers", "4", "--shards", "2", "--masters", "2",
+                   "--retire-depth", "4", "--verify", "--no-contention"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dependence check: OK" in out
+        assert "retire pipeline: depth 4" in out
+
+    def test_retire_sweep_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "retire.json"
+        rc = main(["sweep", "random", "--tasks", "80", "--addresses", "16",
+                   "--workers", "4", "--shards", "2", "--masters", "2",
+                   "--retire-depth", "1,4", "--no-contention",
+                   "--json", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipe full" in out
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["shards"] == 2
+        assert data["baseline_depth"] == 1
+        assert [r["depth"] for r in data["rows"]] == [1, 4]
+        assert [r["task_pool_ports"] for r in data["rows"]] == [1, 4]
+        assert data["rows"][0]["speedup_vs_baseline"] == 1.0
+
+    def test_retire_sweep_rejects_single_maestro(self):
+        # --shards 1 (or none) is a usage error, not a raw traceback.
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40",
+                  "--retire-depth", "1,2", "--shards", "1"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--retire-depth", "1,2"])
+
+    def test_shard_sweep_accepts_single_retire_depth(self, capsys):
+        """A shard sweep with a fixed pipelined depth applies it everywhere
+        (regression: the base config used to validate at 1 shard and die)."""
+        rc = main(["sweep", "random", "--tasks", "60", "--addresses", "16",
+                   "--workers", "4", "--shards", "2,4",
+                   "--retire-depth", "2", "--no-contention"])
+        assert rc == 0
+        assert "speedup vs" in capsys.readouterr().out
+
+    def test_shard_sweep_rejects_depth_on_single_maestro_point(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--shards", "1,2",
+                  "--retire-depth", "2"])
+
+    def test_run_retire_depth_without_shards_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "random", "--tasks", "40", "--retire-depth", "4"])
+
+    def test_info_shows_retire_geometry(self, capsys):
+        assert main(["info", "--shards", "4", "--retire-depth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Retire pipeline depth" in out
+        assert "Task Pool ports" in out
+
+    def test_malformed_retire_depth_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "20", "--shards", "2,4",
+                  "--retire-depth", "two"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "20", "--shards", "x",
+                  "--retire-depth", "1,2"])
