@@ -6,9 +6,11 @@ Commands
 ``run``      simulate one workload on one machine and report the results
 ``sweep``    speedup-vs-cores curve for a workload (Fig. 7/8 style), a
              Maestro shard-scaling curve when ``--shards`` is given, a
-             submission front-end sweep when ``--masters`` is given, or a
+             submission front-end sweep when ``--masters`` is given, a
              retire pipeline-depth sweep when ``--retire-depth`` is a
-             comma list (fixed single --shards)
+             comma list (fixed single --shards), or the fast-dispatch
+             feature grid (TD cache x kick-off fast path) with
+             ``--dispatch`` (fixed single --shards)
 ``workloads``list the available workload generators
 ``validate`` check a saved trace file for well-formedness and graph stats
 
@@ -24,6 +26,10 @@ Examples::
     python -m repro sweep random --tasks 1500 --shards 4 --masters 1,2,4 --batch 1,4,8
     python -m repro sweep random --tasks 1200 --shards 4 --masters 4 --batch 8 \
         --retire-depth 1,2,4,8 --no-contention
+    python -m repro run random --tasks 1200 --shards 4 --masters 4 --batch 8 \
+        --retire-depth 4 --td-cache 64 --fast-path --no-contention
+    python -m repro sweep random --tasks 1200 --shards 4 --masters 4 --batch 8 \
+        --retire-depth 4 --dispatch --no-contention --json BENCH_dispatch_latency.json
     python -m repro run cholesky --tiles 6 --workers 8 --bottleneck
 """
 
@@ -37,6 +43,7 @@ from .analysis import render_table
 from .config import SystemConfig
 from .machine import (
     analyze_bottleneck,
+    dispatch_latency_sweep,
     master_scaling_sweep,
     retire_scaling_sweep,
     run_trace,
@@ -164,6 +171,12 @@ def _config_from(
         from .sim import NS
 
         overrides["shard_hop_time"] = args.hop_ns * NS
+    if getattr(args, "td_cache", None) is not None:
+        overrides["td_cache_entries"] = args.td_cache
+    if getattr(args, "fast_path", False):
+        overrides["kickoff_fast_path"] = True
+    if getattr(args, "prefetch_depth", None) is not None:
+        overrides["td_prefetch_depth"] = args.prefetch_depth
     try:
         return SystemConfig(**overrides)
     except ValueError as exc:
@@ -192,6 +205,22 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-prep", action="store_true", help="zero master task-prep time")
     p.add_argument("--depth", type=int, help="Task Controller buffering depth")
     p.add_argument("--restricted", action="store_true", help="original-Nexus limits")
+
+
+def _add_dispatch_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--td-cache", type=int, default=None,
+        help="per-shard TD prefetch cache entries (0 = off)",
+    )
+    p.add_argument(
+        "--fast-path", action="store_true",
+        help="enable the kick-off fast path (resolving shard dispatches "
+        "became-ready waiters to idle local workers)",
+    )
+    p.add_argument(
+        "--prefetch-depth", type=int, default=None,
+        help="Dependence-Counter threshold that triggers a TD prefetch",
+    )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -248,6 +277,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"max {max(retire['inflight_max'])}, "
                 f"pipe-full {max(retire['full_fraction']):.0%} (worst shard)"
             )
+    dispatch = result.stats.get("dispatch", {})
+    sub = dispatch.get("fast_dispatch")
+    if sub:
+        cache = sub.get("td_cache")
+        bits = []
+        if cache:
+            bits.append(
+                f"TD cache {cache['hits']}/{cache['hits'] + cache['misses']} hits "
+                f"({cache['hit_rate']:.0%}), {cache['evictions']} evicted, "
+                f"{cache['invalidations']} invalidated at retire"
+            )
+        if sub["fast_path"]:
+            bits.append(
+                f"{sub['fast_dispatches']} fast dispatches "
+                f"({sub['fast_dispatches_remote']} skipped the home-shard hop)"
+            )
+        hop = dispatch.get("chain_hop_ns", {})
+        print(
+            f"fast dispatch: {'; '.join(bits)}; critical chain "
+            f"{dispatch.get('chain_depth', 0)} hops x "
+            f"{hop.get('total', 0.0):.0f} ns "
+            f"(resolve {hop.get('resolve', 0.0):.0f} / forward "
+            f"{hop.get('forward', 0.0):.0f} / TD {hop.get('td_transfer', 0.0):.0f} "
+            f"/ start {hop.get('start', 0.0):.0f})"
+        )
     frontend = result.stats.get("frontend")
     if frontend:
         print(
@@ -261,6 +315,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args)
+    if getattr(args, "dispatch", False):
+        return _dispatch_sweep(trace, args)
     if args.retire_depth and "," in str(args.retire_depth):
         return _retire_sweep(trace, args)
     if args.masters:
@@ -395,6 +451,72 @@ def _retire_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
+    """Fast-dispatch feature-grid sweep at a fixed machine shape."""
+    shards = _int_values("shards", args.shards) if args.shards else []
+    if len(shards) != 1 or shards[0] < 2:
+        raise SystemExit(
+            "--dispatch sweeps the fast-dispatch features at a fixed shard "
+            "count; give --shards a single value > 1 (the subsystem lives "
+            "in the sharded engine)"
+        )
+    td_cache = args.td_cache if args.td_cache is not None else 64
+    if td_cache < 1:
+        raise SystemExit("--td-cache must be >= 1 for a --dispatch sweep")
+    if args.fast_path:
+        raise SystemExit(
+            "--fast-path cannot be combined with --dispatch: the sweep "
+            "itself toggles the fast path (its grid covers on and off)"
+        )
+    # The sweep itself toggles the dispatch knobs; everything else is the
+    # fixed machine under test (--td-cache only sizes the cache-on points).
+    args.td_cache = None
+    cfg = _config_from(args, shards=shards[0])
+    report = dispatch_latency_sweep(trace, cfg, td_cache=td_cache)
+    rows = []
+    for r in report.rows():
+        hop = r["chain_hop_ns"]
+        rows.append(
+            [
+                r["td_cache"] or "off",
+                "on" if r["fast_path"] else "off",
+                f"{r['makespan_ps'] / 1e9:.4g}",
+                round(r["speedup_vs_baseline"], 2),
+                r["chain_depth"],
+                f"{hop.get('total', 0.0):.0f}",
+                f"{hop.get('resolve', 0.0):.0f}/{hop.get('forward', 0.0):.0f}"
+                f"/{hop.get('td_transfer', 0.0):.0f}/{hop.get('start', 0.0):.0f}",
+                (
+                    f"{r['td_cache_hit_rate']:.0%}"
+                    if r["td_cache_hit_rate"] is not None
+                    else "-"
+                ),
+            ]
+        )
+    base_c, base_f = report.baseline_point
+    print(
+        render_table(
+            [
+                "TD cache",
+                "fast path",
+                "makespan (ms)",
+                f"speedup vs {base_c or 'off'}/{'on' if base_f else 'off'}",
+                "chain depth",
+                "ns/hop",
+                "resolve/fwd/TD/start",
+                "cache hits",
+            ],
+            rows,
+            f"{trace.name} @ {cfg.workers} workers, {cfg.maestro_shards} shard(s), "
+            f"{cfg.master_cores} master(s), retire depth "
+            f"{cfg.retire_pipeline_depth}",
+        )
+    )
+    if args.json:
+        _write_json(args.json, report.to_json_dict())
+    return 0
+
+
 def _master_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     """Submission front-end scaling curve at fixed workers and shards."""
     master_counts = _int_values("masters", args.masters)
@@ -486,6 +608,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--retire-depth", type=int, default=None,
         help="finishes in flight per shard's retire front-end",
     )
+    _add_dispatch_args(p_info)
     p_info.set_defaults(func=_cmd_info)
 
     p_wl = sub.add_parser("workloads", help="list workload generators")
@@ -504,6 +627,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--retire-depth", type=int, default=None,
         help="finishes in flight per shard's retire front-end",
     )
+    _add_dispatch_args(p_run)
     p_run.add_argument("--verify", action="store_true", help="check schedule legality")
     p_run.add_argument("--bottleneck", action="store_true", help="attribute the bottleneck")
     p_run.set_defaults(func=_cmd_run)
@@ -536,6 +660,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=None,
         help="finishes in flight per shard's retire front-end; a comma "
         "list switches to a retire pipeline-depth sweep (fixed --shards)",
+    )
+    _add_dispatch_args(p_sweep)
+    p_sweep.add_argument(
+        "--dispatch",
+        action="store_true",
+        help="sweep the fast-dispatch feature grid (cache x fast path) at a "
+        "fixed single --shards; --td-cache sets the cache-on size",
     )
     p_sweep.add_argument("--json", default=None, help="write the sweep report to a JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)

@@ -2,6 +2,7 @@
 
 from .presets import (
     contention_free,
+    fast_dispatch,
     fast_functional,
     multi_master,
     nexus_restricted,
@@ -24,4 +25,5 @@ __all__ = [
     "sharded_maestro",
     "multi_master",
     "pipelined_retire",
+    "fast_dispatch",
 ]

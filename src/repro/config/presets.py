@@ -13,6 +13,7 @@ __all__ = [
     "sharded_maestro",
     "multi_master",
     "pipelined_retire",
+    "fast_dispatch",
 ]
 
 
@@ -101,6 +102,46 @@ def pipelined_retire(
     """
     return SystemConfig(
         workers=workers,
+        retire_pipeline_depth=depth,
+        master_cores=masters,
+        submission_batch=batch,
+        maestro_shards=shards,
+        **overrides,
+    )
+
+
+def fast_dispatch(
+    td_cache: int = 64,
+    prefetch_depth: int = 2,
+    depth: int = 4,
+    masters: int = 4,
+    batch: int = 8,
+    shards: int = 4,
+    workers: int = 16,
+    **overrides,
+) -> SystemConfig:
+    """Fast-dispatch subsystem on top of the pipelined-retire machine
+    (beyond the paper): per-shard TD prefetch caches of ``td_cache``
+    staged descriptors pull near-ready waiters' TD chains out of the Task
+    Pool ahead of the final finish->kick resolution, and the kick-off
+    fast path lets the resolving shard hand a became-ready waiter
+    straight to an idle local worker, skipping the home-shard forward
+    hop.  Locality-aware stealing rides along (``locality_stealing``
+    derives on).
+
+    Defaults pair the subsystem with the 4-shard / 4-master / depth-4
+    machine PR 3's retire sweep left *latency-bound* (~90 ns per
+    dependence-chain hop on the hazard-dense bench workload).
+    ``prefetch_depth`` defaults to 2 (stage a waiter's TD two unresolved
+    dependences out): under the fast path the window between the last
+    two resolutions shrinks to almost nothing, so the conservative
+    drops-to-1 trigger misses the finishes that land back-to-back.
+    """
+    return SystemConfig(
+        workers=workers,
+        td_cache_entries=td_cache,
+        td_prefetch_depth=prefetch_depth,
+        kickoff_fast_path=True,
         retire_pipeline_depth=depth,
         master_cores=masters,
         submission_batch=batch,

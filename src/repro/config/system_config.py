@@ -114,6 +114,40 @@ class SystemConfig:
     #: deeper retire pipeline scales its TP bandwidth with its depth.
     task_pool_ports: Optional[int] = None
 
+    # ---- fast-dispatch subsystem -------------------------------------------------
+    #: Per-shard TD prefetch cache capacity, in staged Task Descriptors.
+    #: 0 disables the cache (the paper machine).  N > 0 lets each shard's
+    #: prefetch engine pull a *near-ready* waiter's TD chain out of the
+    #: Task Pool ahead of the final finish->kick resolution, so the TD
+    #: read+stream latency overlaps resolution instead of following it.
+    #: Prefetch reads arbitrate for the same Task Pool ports as every
+    #: other block, so Task Pool bandwidth stays faithful.  A
+    #: sharded-engine knob, like ``retire_pipeline_depth``.
+    td_cache_entries: int = 0
+    #: Dependence-Counter threshold at which a waiter counts as
+    #: *near-ready* and its TD chain is prefetched: the default 1 fires
+    #: when one unresolved dependence remains (the classic chain hop);
+    #: larger values speculate earlier, wasting cache slots on waiters
+    #: that may stay blocked for a long time.
+    td_prefetch_depth: int = 1
+    #: Kick-off fast path: let the shard that resolves a waiter's final
+    #: dependence dispatch the now-ready task directly to one of its own
+    #: idle worker cores, skipping the forward hop to the task's home
+    #: shard and the home scheduler's queue round trip.  A non-blocking
+    #: ownership notice to the home shard keeps retirement bookkeeping
+    #: unchanged.  Also a sharded-engine knob.
+    kickoff_fast_path: bool = False
+    #: Locality-aware work stealing: an idle shard prefers stealing from
+    #: shards that have no idle worker of their own, leaving a ready task
+    #: whose home pool already holds an idle core for that core (its home
+    #: scheduler is one FIFO pop away from dispatching it) — avoiding the
+    #: steal-after-forward ping-pong where a task is stolen one cycle
+    #: after the finish engine paid the forward hop to send it home.
+    #: ``None`` derives the policy from the fast-dispatch subsystem (on
+    #: when any of its features is on), keeping the subsystem-off machine
+    #: cycle-for-cycle the old one.
+    locality_stealing: Optional[bool] = None
+
     # ---- master core / on-chip bus ----------------------------------------------
     #: Number of master cores generating Task Descriptors.  1 reproduces the
     #: paper's single serial master; N > 1 splits the trace round-robin over
@@ -229,6 +263,28 @@ class SystemConfig:
             )
         if self.task_pool_ports is not None and self.task_pool_ports < 1:
             raise ValueError("task_pool_ports must be >= 1")
+        if self.td_cache_entries < 0:
+            raise ValueError(
+                f"td_cache_entries must be >= 0, got {self.td_cache_entries}"
+            )
+        if self.td_prefetch_depth < 1:
+            raise ValueError(
+                f"td_prefetch_depth must be >= 1, got {self.td_prefetch_depth}"
+            )
+        if self.use_fast_dispatch and not self.use_sharded_maestro:
+            raise ValueError(
+                "the fast-dispatch subsystem (td_cache_entries > 0 or "
+                "kickoff_fast_path) requires the sharded Maestro engine "
+                "(set maestro_shards > 1 or force_sharded_maestro); the "
+                "single-Maestro machine would silently ignore it"
+            )
+        if self.locality_stealing and not self.use_sharded_maestro:
+            raise ValueError(
+                "locality_stealing=True requires the sharded Maestro "
+                "engine (set maestro_shards > 1 or force_sharded_maestro); "
+                "the single-Maestro machine has no stealing scheduler and "
+                "would silently ignore it"
+            )
 
     # ---- derived quantities -----------------------------------------------------------
 
@@ -277,6 +333,21 @@ class SystemConfig:
         if self.task_pool_ports is not None:
             return self.task_pool_ports
         return self.retire_pipeline_depth
+
+    @property
+    def use_fast_dispatch(self) -> bool:
+        """True when the machine should wire the fast-dispatch subsystem
+        (TD prefetch caches and/or the kick-off fast path)."""
+        return self.td_cache_entries > 0 or self.kickoff_fast_path
+
+    @property
+    def steal_locality(self) -> bool:
+        """Effective work-stealing policy: locality-aware when requested
+        explicitly, else it follows the fast-dispatch subsystem (``None``
+        keeps the subsystem-off machine cycle-exact)."""
+        if self.locality_stealing is not None:
+            return self.locality_stealing
+        return self.use_fast_dispatch
 
     @property
     def dt_entries_per_shard(self) -> int:
@@ -367,6 +438,16 @@ class SystemConfig:
                 ("Shard inbox depth", str(self.shard_inbox_entries)),
                 ("Retire pipeline depth", str(self.retire_pipeline_depth)),
                 ("Task Pool ports", str(self.tp_ports)),
+            ]
+        if self.use_fast_dispatch:
+            extra += [
+                ("TD prefetch cache", f"{self.td_cache_entries} TDs/shard"),
+                ("TD prefetch depth", f"DC <= {self.td_prefetch_depth}"),
+                ("Kick-off fast path", "on" if self.kickoff_fast_path else "off"),
+                (
+                    "Steal policy",
+                    "locality" if self.steal_locality else "ticket",
+                ),
             ]
         return [
             ("Cores clock freq.", f"{self.core_clock_hz / 1e9:g} GHz"),

@@ -15,6 +15,13 @@ from .dependence_table import (
     kickoff_entries_needed,
     shard_hash,
 )
+from .dispatch import (
+    CachedTD,
+    FastDispatch,
+    HOP_COMPONENTS,
+    TDPrefetchCache,
+    hop_latency_stats,
+)
 from .errors import CapacityError, HardwareError, ProtocolError
 from .fabric import Fabric, Interconnect, MergeUnit
 from .master import MasterCluster, MasterCore
@@ -40,6 +47,11 @@ __all__ = [
     "MergeUnit",
     "TaskMaestro",
     "ShardedMaestro",
+    "CachedTD",
+    "TDPrefetchCache",
+    "FastDispatch",
+    "HOP_COMPONENTS",
+    "hop_latency_stats",
     "TaskController",
     "MasterCore",
     "MasterCluster",

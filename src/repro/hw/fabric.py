@@ -29,6 +29,13 @@ message and finish reply carries its ticket so the per-shard, per-ticket
 gather tables (``retire_gather``) can count replies for several in-flight
 finishes independently.
 
+A fourth extension shortens the *dispatch* path
+(``config.use_fast_dispatch``): per-shard TD prefetch caches stage
+near-ready waiters' descriptors next to the TD links, and the kick-off
+fast path lets a resolving shard dispatch a became-ready waiter straight
+to an idle local worker (see :mod:`repro.hw.dispatch`).  The subsystem's
+structures (``Fabric.dispatch``) exist only when a feature is enabled.
+
 Interconnect message formats (payloads of :meth:`Interconnect.message`):
 
 ==================  =================================  =======================
@@ -170,6 +177,13 @@ class Interconnect:
         """Latency of a request/response pair (used by work stealing)."""
         return 2 * self._account(src, dst, 2) * self.hop_time
 
+    def post(self, src: int, dst: int) -> None:
+        """Account a one-way message nobody waits out: the fast-dispatch
+        ownership notices and near-ready prefetch notices are fire-and-
+        forget by design (posting them must never stall resolution), but
+        they are real traffic and show up in the interconnect stats."""
+        self._account(src, dst, 1)
+
     def stats(self) -> dict:
         return {
             "messages": self.messages,
@@ -196,6 +210,10 @@ class Fabric:
         self.n_masters = config.master_cores
         #: True when per-master TDs buffers + the merge unit are wired in.
         self.parallel_frontend = config.use_parallel_frontend
+
+        #: Fast-dispatch subsystem owner (sharded machines with a feature
+        #: on; ``None`` otherwise — see ``_build_shards``).
+        self.dispatch = None
 
         # ---- tables -------------------------------------------------------------
         self.task_pool = TaskPool(
@@ -409,6 +427,26 @@ class Fabric:
                     raise ValueError("retire ticket FIFO cannot hold all tickets")
         #: Per-shard per-ticket gather tables: ticket -> RetireSlot.
         self.retire_gather: List[Dict[int, RetireSlot]] = [{} for _ in range(n)]
+        # Fast-dispatch subsystem (TD prefetch caches + kick-off fast
+        # path): built only when a feature is on, so the subsystem-off
+        # machine carries no extra FIFOs, processes or events and stays
+        # cycle-for-cycle the pre-dispatch machine.
+        if config.use_fast_dispatch:
+            from .dispatch import FastDispatch
+
+            self.dispatch = FastDispatch(self)
+        #: Heads whose entry into a ready list was paid for by a finish
+        #: engine's cross-shard forward hop; a steal of one of these is
+        #: the post-forward ping-pong the `steals_after_forward` stat
+        #: makes visible (bookkeeping only — no simulation events).
+        self.forwarded_ready: set = set()
+        #: True while a shard's scheduler holds a claimed worker core and
+        #: is waiting on the ready-ticket FIFO — the shard will dispatch
+        #: its own next ready task the moment a ticket lands.  The
+        #: locality steal policy treats an armed victim like one with an
+        #: idle worker: stealing from it is the post-forward ping-pong.
+        #: (Bookkeeping only — a 1-bit status line, no simulation events.)
+        self.scheduler_armed: List[bool] = [False] * n
         #: Time-weighted in-flight finish count per shard (mean, histogram
         #: and pipeline-full fraction feed the machine's retire stats).
         self.retire_inflight: List[LevelStat] = [LevelStat(sim) for _ in range(n)]

@@ -42,7 +42,13 @@ from ..scoreboard import Scoreboard
 from ..sim import BusyTracker
 from .fabric import Fabric
 
-__all__ = ["TaskMaestro", "write_tp_block", "send_tds_block", "retire_free_block"]
+__all__ = [
+    "TaskMaestro",
+    "write_tp_block",
+    "send_tds_block",
+    "td_read_stream_block",
+    "retire_free_block",
+]
 
 
 def retire_free_block(fab: Fabric, head: int):
@@ -59,6 +65,10 @@ def retire_free_block(fab: Fabric, head: int):
     freed, accesses = fab.task_pool.free_chain(head)
     yield sim.timeout(accesses * fab.on_chip)
     fab.tp_port.release()
+    if fab.dispatch is not None and fab.dispatch.cache is not None:
+        # Coherence-by-retirement (ARCHITECTURE.md invariant 4): a staged
+        # TD dies with its chain, so a recycled head can never hit stale.
+        fab.dispatch.cache.invalidate(head)
     del fab.inflight[head]
     for idx in freed:
         yield fab.tp_free.put(idx)
@@ -116,24 +126,68 @@ def write_tp_block(fab: Fabric, scoreboard: Scoreboard, busy: BusyTracker,
                 busy.begin()
 
 
-def send_tds_block(fab: Fabric, request_fifo, busy: BusyTracker):
+def td_read_stream_block(fab: Fabric, head: int, validate=None):
+    """Read a TD chain from the Task Pool and stream the descriptor.
+
+    The timing body shared by Send TDs (a live transfer to a worker) and
+    the fast-dispatch prefetch engines (a transfer into the staging
+    cache), so the prefetch charge can never drift from the charge Send
+    TDs would have paid: one Task Pool port arbitration, ``accesses *
+    on_chip`` for the chain walk, then the bus word timing for the
+    descriptor stream.  Returns the parameter list read.
+
+    ``validate`` (optional) is re-checked once the port is granted —
+    the arbitration can block for a while, and a *speculative* reader's
+    target may retire and have its chain freed in that window.  A failed
+    validation releases the port and returns ``None`` without touching
+    the pool.  Send TDs never passes one: a dispatched task cannot
+    retire before its descriptor is delivered.
+    """
+    sim = fab.sim
+    yield fab.tp_port.acquire()
+    if validate is not None and not validate():
+        fab.tp_port.release()
+        return None
+    params, accesses = fab.task_pool.read_params(head)
+    yield sim.timeout(accesses * fab.on_chip)
+    fab.tp_port.release()
+    # Stream the descriptor (function pointer word + parameters).
+    yield sim.timeout(fab.config.td_transfer_time(len(params)))
+    return params
+
+
+def send_tds_block(fab: Fabric, request_fifo, busy: BusyTracker, cache=None,
+                   shard: int = 0):
     """The Send TDs block body, shared by the single and sharded Maestros.
 
     ``request_fifo`` is the TD request line the block serves: the global
     one in the single-Maestro machine, a shard's own in the sharded one.
+    ``cache`` is the fast-dispatch TD prefetch cache when that subsystem
+    is wired (:class:`repro.hw.dispatch.TDPrefetchCache`), and ``shard``
+    names the bank this block's TD link sits next to — only locally
+    staged descriptors hit (a stolen task's descriptor stays in its home
+    bank, so the thief pays the full read).  A hit skips the Task Pool
+    read *and* the bus stream — both were paid by the prefetch engine
+    while the final dependence was still resolving — leaving a one-cycle
+    staged-descriptor handoff.  A miss (never prefetched, staged
+    remotely, evicted under pressure, or invalidated by retirement and
+    re-stored) takes the full paper-exact path below.
     """
     sim = fab.sim
-    cfg = fab.config
     while True:
         core, head = yield request_fifo.get()
         busy.begin()
         yield sim.timeout(fab.cycle)  # request-line arbitration
-        yield fab.tp_port.acquire()
-        params, accesses = fab.task_pool.read_params(head)
-        yield sim.timeout(accesses * fab.on_chip)
-        fab.tp_port.release()
-        # Stream the descriptor (function pointer word + parameters).
-        yield sim.timeout(cfg.td_transfer_time(len(params)))
+        staged = (
+            cache.lookup(head, fab.task_of(head).tid, shard)
+            if cache is not None
+            else None
+        )
+        if staged is not None:
+            # Hit: point the worker's TD link at the staged copy.
+            yield sim.timeout(fab.cycle)
+        else:
+            yield from td_read_stream_block(fab, head)
         busy.end()
         yield fab.fin_fifo[core].put(head)
         yield fab.td_channel[core].put(head)
@@ -264,7 +318,9 @@ class TaskMaestro:
                 fab.tp_port.release()
                 if became_ready:
                     waiter_task = fab.task_of(waiter_head)
-                    self.scoreboard.records[waiter_task.tid].ready = sim.now
+                    record = self.scoreboard.records[waiter_task.tid]
+                    record.ready = sim.now
+                    record.released_by = task.tid
                     yield fab.global_ready.put(waiter_head)
             # Retire: free the Task Pool chain, recycle index and core slot.
             yield from retire_free_block(fab, head)

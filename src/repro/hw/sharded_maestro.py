@@ -50,7 +50,15 @@ Protocol
 * **Finish engine** (per shard) — services ticket-tagged finish messages:
   updates its table slice, kicks off released waiters (forwarding ready
   tasks to their home shards) and posts the ticket back to the retiring
-  shard's reply inbox.
+  shard's reply inbox.  With the fast-dispatch subsystem on
+  (:mod:`repro.hw.dispatch`) it additionally posts non-blocking prefetch
+  notices for near-ready waiters and may dispatch a became-ready waiter
+  straight to an idle local worker (the kick-off fast path, with an
+  ownership notice to the home shard).
+* **TD prefetch engine** (per shard, only when ``td_cache_entries`` > 0)
+  — drains near-ready notices, reads the waiter's TD chain from the Task
+  Pool (arbitrating for the shared TP ports) and stages it in the
+  shard's TD cache so Send TDs can skip the read+stream on dispatch.
 * **Retire completion** (per shard, ``retire_pipeline_depth`` > 1) — the
   gather half of retirement: counts each reply against its ticket's entry
   in the per-shard gather table (``fabric.retire_gather``), and when a
@@ -63,8 +71,9 @@ Message formats (ticket fields included) are tabulated in
 :mod:`repro.hw.fabric`; the per-shard block names this module exposes in
 ``maestro_utilization`` stats are ``s{N}.check``, ``s{N}.gather``,
 ``s{N}.schedule``, ``s{N}.send_tds``, ``s{N}.finish``, ``s{N}.retire``
-(issue half) and ``s{N}.retire_done`` (completion half; idle at depth 1),
-plus the central ``write_tp`` and ``scatter``.
+(issue half), ``s{N}.retire_done`` (completion half; idle at depth 1)
+and ``s{N}.prefetch`` (only when the TD cache is wired), plus the
+central ``write_tp`` and ``scatter``.
 
 Finish-path ordering invariant (load-bearing for pipelined retirement):
 each shard's retire front-end is the *only* injector of its finish
@@ -122,6 +131,10 @@ class ShardedMaestro:
         self.retired = 0
         #: Ready tasks dispatched by a shard other than their home shard.
         self.steals = 0
+        #: Steals of a task whose ready-list entry was paid for by a
+        #: cross-shard forward hop — the post-forward ping-pong the
+        #: locality steal policy avoids.
+        self.steals_after_forward = 0
         sim = fabric.sim
         self.busy: Dict[str, BusyTracker] = {
             name: BusyTracker(sim) for name in self.CENTRAL_BLOCKS
@@ -129,6 +142,12 @@ class ShardedMaestro:
         for s in range(self.n_shards):
             for name in self.SHARD_BLOCKS:
                 self.busy[f"s{s}.{name}"] = BusyTracker(sim)
+        if fabric.dispatch is not None and fabric.dispatch.cache is not None:
+            # The TD prefetch engines are Maestro blocks too; their busy
+            # trackers exist only when the cache is wired, so the
+            # subsystem-off stats keys are unchanged.
+            for s in range(self.n_shards):
+                self.busy[f"s{s}.prefetch"] = BusyTracker(sim)
 
     def utilization(self, span: int) -> dict:
         """Fraction of ``span`` each Maestro block spent occupied."""
@@ -152,6 +171,16 @@ class ShardedMaestro:
                 # same-timestamp tie-breaking in the differential-pinned run.
                 sim.process(
                     self._retire_complete(s), name=f"smaestro.s{s}.retire-done"
+                )
+            if self.fabric.dispatch is not None and self.fabric.dispatch.cache is not None:
+                # Same reasoning: the prefetch engine process exists only
+                # when the TD cache is wired, so the cache-off machine's
+                # event stream is untouched.
+                sim.process(
+                    self.fabric.dispatch.prefetch_engine(
+                        s, self.busy[f"s{s}.prefetch"], self.scoreboard
+                    ),
+                    name=f"smaestro.s{s}.prefetch",
                 )
 
     # ---- receive helper --------------------------------------------------------
@@ -245,6 +274,12 @@ class ShardedMaestro:
                 self.scoreboard.records[task.tid].ready = sim.now
                 yield fab.shard_ready[s].put(head)
                 yield fab.ready_tickets.put(s)
+            elif fab.dispatch is not None and fab.dispatch.want_prefetch(head):
+                # A chain task is typically born near-ready (DC already at
+                # the prefetch threshold when the check closes): stage its
+                # TD now, overlapping the wait for the final resolution.
+                # The gather unit *is* the home shard — no notice needed.
+                fab.dispatch.request_prefetch(s, s, head)
 
     # ---- Schedule (per shard, with idle-shard stealing) ----------------------------
 
@@ -253,26 +288,57 @@ class ShardedMaestro:
         sim = fab.sim
         busy = self.busy[f"s{s}.schedule"]
         n = self.n_shards
+        locality = fab.config.steal_locality
         while True:
             # Claim a free worker core first: only an idle shard pulls work,
             # which is what makes the ticket consumption a steal request.
             core = yield fab.worker_pools[s].get()
-            hint = yield fab.ready_tickets.get()
-            victim = s
-            head = fab.shard_ready[s].try_get()
+            while True:
+                fab.scheduler_armed[s] = True
+                hint = yield fab.ready_tickets.get()
+                fab.scheduler_armed[s] = False
+                victim = s
+                head = fab.shard_ready[s].try_get()
+                if head is not None or not locality:
+                    break
+                if hint != s and (
+                    len(fab.worker_pools[hint]) > 0 or fab.scheduler_armed[hint]
+                ):
+                    # Locality policy: leave a task whose home pool already
+                    # has an idle worker — or whose scheduler is armed with
+                    # a claimed core, one ticket away from dispatching it
+                    # locally — for that shard.  Stealing it would re-pay
+                    # the forward hop the finish engine just spent sending
+                    # the task home (the post-forward ping-pong that
+                    # `steals_after_forward` counts).  Re-donating the
+                    # ticket circulates it through the waiting schedulers
+                    # until the home shard draws it; the home shard never
+                    # defers its own hint, so the circulation terminates,
+                    # and the re-check each round (the home shard may have
+                    # gone busy meanwhile) keeps tickets from stranding.
+                    yield sim.timeout(fab.cycle)  # ticket re-enqueue
+                    yield fab.ready_tickets.put(hint)
+                    continue
+                break
             if head is None:
+                # Steal: the hint first, then a ring scan.  A consumed
+                # ticket holds a claim on a queued task somewhere, so the
+                # scan always finds one — refusing every victim would
+                # strand that claim (and the ticket) forever.
                 victim = hint
                 head = fab.shard_ready[hint].try_get()
             offset = 1
             while head is None:
-                # A consumed ticket guarantees a queued task somewhere.
                 victim = (s + offset) % n
                 head = fab.shard_ready[victim].try_get()
                 offset += 1
             busy.begin()
             if victim != s:
                 self.steals += 1
+                if head in fab.forwarded_ready:
+                    self.steals_after_forward += 1
                 yield sim.timeout(fab.icn.charge_round_trip(s, victim))
+            fab.forwarded_ready.discard(head)
             yield sim.timeout(2 * fab.cycle)  # pop both lists, push one
             task = fab.task_of(head)
             record = self.scoreboard.records[task.tid]
@@ -284,8 +350,13 @@ class ShardedMaestro:
     # ---- Send TDs (per shard: one TD link per shard's workers) ---------------------
 
     def _send_tds(self, s: int):
+        dispatch = self.fabric.dispatch
         return send_tds_block(
-            self.fabric, self.fabric.td_request_shard[s], self.busy[f"s{s}.send_tds"]
+            self.fabric,
+            self.fabric.td_request_shard[s],
+            self.busy[f"s{s}.send_tds"],
+            cache=dispatch.cache if dispatch is not None else None,
+            shard=s,
         )
 
     # ---- Retire front-end (per shard: issue half — param read + finish scatter) ----
@@ -384,6 +455,8 @@ class ShardedMaestro:
         sim = fab.sim
         table = fab.dep_shards[s]
         busy = self.busy[f"s{s}.finish"]
+        dispatch = fab.dispatch
+        fast_path = dispatch is not None and dispatch.fast_path
         while True:
             head, src, ticket, param = yield from self._recv(fab.finish_inbox[s])
             busy.begin()
@@ -399,15 +472,50 @@ class ShardedMaestro:
                 became_ready = fab.task_pool.resolve_dependence(waiter_head)
                 yield sim.timeout(fab.on_chip)
                 fab.tp_port.release()
-                if became_ready:
-                    home = fab.home_of[waiter_head]
-                    waiter_task = fab.task_of(waiter_head)
-                    self.scoreboard.records[waiter_task.tid].ready = sim.now
-                    if home != s:
-                        # The ready task id travels to its home shard.
-                        yield sim.timeout(fab.icn.charge_hop(s, home))
-                    yield fab.shard_ready[home].put(waiter_head)
-                    yield fab.ready_tickets.put(home)
+                if not became_ready:
+                    if dispatch is not None and dispatch.want_prefetch(waiter_head):
+                        # Near-ready: post the non-blocking prefetch notice
+                        # to the waiter's home shard so its TD is staged
+                        # while the last dependence resolves.
+                        dispatch.request_prefetch(
+                            s, fab.home_of[waiter_head], waiter_head
+                        )
+                    continue
+                home = fab.home_of[waiter_head]
+                waiter_task = fab.task_of(waiter_head)
+                record = self.scoreboard.records[waiter_task.tid]
+                record.ready = sim.now
+                record.released_by = fab.task_of(head).tid
+                if fast_path:
+                    # Kick-off fast path: hand the became-ready waiter to
+                    # an idle *local* worker, skipping the home-shard
+                    # forward hop and the scheduler round trip.  Claiming
+                    # the core id from the pool reserves its CiRdyTasks
+                    # slot, exactly as the scheduler's claim does.
+                    core = fab.worker_pools[s].try_get()
+                    if core is not None:
+                        if home != s:
+                            # Non-blocking ownership notice: the home
+                            # shard learns dispatch moved here; retirement
+                            # bookkeeping (keyed off the worker's shard)
+                            # is unchanged.  The notice carries any staged
+                            # descriptor to this shard's TD-link bank.
+                            fab.icn.post(s, home)
+                            fab.home_of[waiter_head] = s
+                            if dispatch.cache is not None:
+                                dispatch.cache.move(waiter_head, s)
+                        dispatch.note_fast_dispatch(remote=home != s)
+                        yield sim.timeout(2 * fab.cycle)  # pop pool, push rdy
+                        record.dispatched = sim.now
+                        record.core = core
+                        yield fab.rdy_fifo[core].put(waiter_head)
+                        continue
+                if home != s:
+                    # The ready task id travels to its home shard.
+                    yield sim.timeout(fab.icn.charge_hop(s, home))
+                    fab.forwarded_ready.add(waiter_head)
+                yield fab.shard_ready[home].put(waiter_head)
+                yield fab.ready_tickets.put(home)
             busy.end()
             # The reply is the ticket: the retiring shard's gather table
             # maps it back to the task, never relying on arrival order.

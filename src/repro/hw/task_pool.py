@@ -210,6 +210,24 @@ class TaskPool:
             raise ProtocolError(f"TP entry {index} is a dummy")
         return entry
 
+    def dep_count_of(self, head: int) -> int:
+        """Current Dependence Counter of a stored task (a direct read;
+        the fast-dispatch prefetch trigger polls it after a resolve)."""
+        return self.head(head).dep_count
+
+    def is_live_head(self, head: int) -> bool:
+        """True when ``head`` is a valid, non-dummy task head right now.
+
+        Speculative readers (the TD prefetch engines) re-check this after
+        winning a port: with several Task Pool ports, a retiring task's
+        chain can be freed while a reader was still arbitrating, and the
+        in-flight map alone lags the free by the chain-walk time.
+        """
+        if not 0 <= head < self.capacity:
+            return False
+        entry = self.entries[head]
+        return entry.valid and not entry.is_dummy
+
     def add_dependences(self, head: int, count: int) -> None:
         """Increment DC by ``count`` at once (test/tooling convenience)."""
         self.head(head).dep_count += count

@@ -4,10 +4,12 @@ from .bottleneck import BottleneckReport, analyze_bottleneck
 from .machine import NexusMachine, run_trace
 from .results import RunResult, Scoreboard, TaskRecord
 from .sweep import (
+    DispatchLatencyReport,
     MasterScalingReport,
     RetireScalingReport,
     ShardScalingReport,
     SpeedupCurve,
+    dispatch_latency_sweep,
     master_scaling_sweep,
     retire_scaling_sweep,
     shard_scaling_sweep,
@@ -30,6 +32,8 @@ __all__ = [
     "master_scaling_sweep",
     "RetireScalingReport",
     "retire_scaling_sweep",
+    "DispatchLatencyReport",
+    "dispatch_latency_sweep",
     "BottleneckReport",
     "analyze_bottleneck",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..config import SystemConfig
+from ..hw.dispatch import hop_latency_stats
 from ..hw.errors import CapacityError
 from ..hw.fabric import Fabric
 from ..hw.master import MasterCluster
@@ -125,13 +126,20 @@ class NexusMachine:
             ),
             "global_ready_mean_occupancy": ready_stat,
             "tasks_per_core": [tc.tasks_run for tc in controllers],
+            # Per-hop dependence-chain latency attribution (resolve /
+            # forward / TD-transfer / start), computed from the scoreboard
+            # after the run — it never perturbs the simulation.
+            "dispatch": hop_latency_stats(scoreboard.records, span),
         }
+        if fabric.dispatch is not None:
+            stats["dispatch"]["fast_dispatch"] = fabric.dispatch.stats()
         if fabric.sharded:
             depth = cfg.retire_pipeline_depth
             stats["shards"] = {
                 "count": fabric.n_shards,
                 "interconnect": fabric.icn.stats(),
                 "steals": maestro.steals,
+                "steals_after_forward": maestro.steals_after_forward,
                 "per_shard_dep_table": maestro.shard_stats(),
                 # Retire front-end occupancy: time-weighted in-flight finish
                 # counts per shard.  ``full_fraction`` is the share of the
@@ -190,6 +198,8 @@ class NexusMachine:
                 "submission_batch": cfg.submission_batch,
                 "retire_pipeline_depth": cfg.retire_pipeline_depth,
                 "task_pool_ports": cfg.tp_ports,
+                "td_cache_entries": cfg.td_cache_entries,
+                "kickoff_fast_path": cfg.kickoff_fast_path,
             },
         )
 

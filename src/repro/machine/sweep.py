@@ -25,6 +25,8 @@ __all__ = [
     "master_scaling_sweep",
     "RetireScalingReport",
     "retire_scaling_sweep",
+    "DispatchLatencyReport",
+    "dispatch_latency_sweep",
 ]
 
 
@@ -395,6 +397,127 @@ def retire_scaling_sweep(
         workers=base.workers,
         shards=base.maestro_shards,
         depths=list(depths),
+        runs=runs,
+    )
+
+
+@dataclass
+class DispatchLatencyReport:
+    """Makespan + per-hop latency breakdown over the fast-dispatch grid.
+
+    Answers the question PR 3's retire sweep raised: once retirement is
+    pipelined the hazard-dense machine is *latency-bound* — ~90 ns per
+    dependence-chain hop over a chain hundreds of hops deep — so the
+    lever is no longer more bandwidth anywhere but a shorter hop.  Each
+    swept point toggles the fast-dispatch features (TD prefetch cache
+    entries, kick-off fast path); the rows carry the critical-chain hop
+    decomposition (resolve / forward / td_transfer / start) so the report
+    shows *which* serial component each feature removed.  Speedups are
+    measured against the both-off run when present, else the first point.
+    """
+
+    trace_name: str
+    workers: int
+    shards: int
+    points: List[tuple[int, bool]]  # (td_cache_entries, kickoff_fast_path)
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def baseline_point(self) -> tuple[int, bool]:
+        return (0, False) if (0, False) in self.points else self.points[0]
+
+    @property
+    def speedups(self) -> List[float]:
+        base = self.runs[self.points.index(self.baseline_point)]
+        return [base.makespan / r.makespan for r in self.runs]
+
+    def at(self, td_cache: int, fast_path: bool) -> RunResult:
+        return self.runs[self.points.index((td_cache, fast_path))]
+
+    def rows(self) -> List[dict]:
+        """One report row per swept point (used by the CLI and the bench)."""
+        out = []
+        for (td_cache, fast_path), run, speedup in zip(
+            self.points, self.runs, self.speedups
+        ):
+            dispatch = run.stats.get("dispatch", {})
+            sub = dispatch.get("fast_dispatch", {})
+            cache = sub.get("td_cache", {})
+            shard_info = run.stats.get("shards", {})
+            out.append(
+                {
+                    "td_cache": td_cache,
+                    "fast_path": fast_path,
+                    "makespan_ps": run.makespan,
+                    "speedup_vs_baseline": round(speedup, 4),
+                    "chain_depth": dispatch.get("chain_depth", 0),
+                    "chain_fraction": dispatch.get("chain_fraction", 0.0),
+                    "chain_hop_ns": dispatch.get("chain_hop_ns", {}),
+                    "dominant_chain_component": dispatch.get(
+                        "dominant_chain_component"
+                    ),
+                    "td_cache_hit_rate": (
+                        round(cache["hit_rate"], 4) if cache else None
+                    ),
+                    "fast_dispatches": sub.get("fast_dispatches", 0),
+                    "steals": shard_info.get("steals", 0),
+                    "steals_after_forward": shard_info.get(
+                        "steals_after_forward", 0
+                    ),
+                }
+            )
+        return out
+
+    def to_json_dict(self) -> dict:
+        return {
+            "trace": self.trace_name,
+            "workers": self.workers,
+            "shards": self.shards,
+            "baseline": {
+                "td_cache": self.baseline_point[0],
+                "fast_path": self.baseline_point[1],
+            },
+            "rows": self.rows(),
+        }
+
+
+def dispatch_latency_sweep(
+    trace: TaskTrace,
+    config: Optional[SystemConfig] = None,
+    td_cache: int = 64,
+    points: Optional[Sequence[tuple[int, bool]]] = None,
+) -> DispatchLatencyReport:
+    """Run ``trace`` over the fast-dispatch feature grid.
+
+    The default grid is the four-point ablation — (cache off, fast path
+    off) baseline, each feature alone, both together — with ``td_cache``
+    entries per shard at the cache-on points.  ``config`` must use the
+    sharded Maestro engine (the subsystem lives in its per-shard blocks);
+    everything but the two dispatch knobs is held fixed, so the curve
+    isolates the subsystem.
+    """
+    base = config or SystemConfig()
+    if not base.use_sharded_maestro:
+        raise ValueError(
+            "dispatch_latency_sweep needs the sharded Maestro engine: set "
+            "maestro_shards > 1 (or force_sharded_maestro) on the config"
+        )
+    if points is None:
+        points = [(0, False), (td_cache, False), (0, True), (td_cache, True)]
+    points = list(points)
+    if not points:
+        raise ValueError("need at least one (td_cache, fast_path) point")
+    runs = [
+        NexusMachine(
+            base.with_(td_cache_entries=c, kickoff_fast_path=f)
+        ).run(trace)
+        for c, f in points
+    ]
+    return DispatchLatencyReport(
+        trace_name=trace.name,
+        workers=base.workers,
+        shards=base.maestro_shards,
+        points=points,
         runs=runs,
     )
 

@@ -25,11 +25,18 @@ class TaskRecord:
     ``fetch_start``/``exec_start``/``exec_end``/``writeback_end``: the Task
     Controller pipeline stages;
     ``completed``: Handle Finished retired it and updated the task graph.
+
+    ``released_by`` is not a timestamp: it names the finished task whose
+    dependence resolution made this one ready (-1 for tasks that were
+    ready straight out of the dependence check).  The chain of
+    ``released_by`` links is what the dispatch-latency attribution walks
+    to decompose per-hop chain latency.
     """
 
     __slots__ = (
         "tid",
         "core",
+        "released_by",
         "submitted",
         "stored",
         "ready",
@@ -56,6 +63,7 @@ class TaskRecord:
     def __init__(self, tid: int):
         self.tid = tid
         self.core = _UNSET
+        self.released_by = _UNSET
         self.submitted = _UNSET
         self.stored = _UNSET
         self.ready = _UNSET

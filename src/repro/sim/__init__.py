@@ -11,7 +11,7 @@ See :mod:`repro.sim.core` for the execution model.
 from .core import Process, Simulator, Timeout, Waitable
 from .channels import Fifo
 from .errors import DeadlockError, ProcessError, SimError
-from .stats import BusyTracker, LevelStat, OccupancyStat, Sampler
+from .stats import BusyTracker, LatencyBreakdown, LevelStat, OccupancyStat, Sampler
 from .sync import Gate, Resource, Signal
 from .time_units import MS, NS, PS, S, US, cycles, fmt_time, ns, us
 
@@ -25,6 +25,7 @@ __all__ = [
     "Gate",
     "Resource",
     "BusyTracker",
+    "LatencyBreakdown",
     "LevelStat",
     "OccupancyStat",
     "Sampler",

@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .core import Simulator
 
-__all__ = ["OccupancyStat", "LevelStat", "BusyTracker", "Sampler"]
+__all__ = ["OccupancyStat", "LevelStat", "BusyTracker", "Sampler", "LatencyBreakdown"]
 
 
 class OccupancyStat:
@@ -130,6 +130,65 @@ class BusyTracker:
         if self._busy_since is not None:
             busy += self._sim.now - self._busy_since
         return busy / span if span > 0 else 0.0
+
+
+class LatencyBreakdown:
+    """Named latency components aggregated over many observations.
+
+    Feed it one observation per *hop* (e.g. a dependence-chain edge), as
+    named picosecond components via :meth:`add`; it keeps one
+    :class:`Sampler` per component plus an implicit ``total``.  The
+    consumers (the machine's dispatch-latency attribution, the bottleneck
+    report) read the time-weighted answer "where does a hop's latency
+    go?" through :meth:`means_ns` and :meth:`dominant`.
+    """
+
+    __slots__ = ("components", "_samplers", "_total")
+
+    def __init__(self, components: tuple[str, ...]):
+        if not components:
+            raise ValueError("LatencyBreakdown needs at least one component")
+        if "total" in components:
+            raise ValueError("'total' is implicit; do not pass it as a component")
+        self.components = tuple(components)
+        self._samplers = {name: Sampler() for name in self.components}
+        self._total = Sampler()
+
+    def add(self, **component_ps: int) -> None:
+        """Record one observation; every declared component is required."""
+        if set(component_ps) != set(self.components):
+            raise ValueError(
+                f"expected components {self.components}, got {tuple(component_ps)}"
+            )
+        for name, ps in component_ps.items():
+            self._samplers[name].add(ps)
+        self._total.add(sum(component_ps.values()))
+
+    @property
+    def count(self) -> int:
+        return self._total.count
+
+    @property
+    def total_ps(self) -> float:
+        """Sum of every observation's total (the span the hops cover)."""
+        return self._total.total
+
+    def means_ns(self) -> dict[str, float]:
+        """Mean of each component (and ``total``) in nanoseconds."""
+        out = {name: s.mean / 1000.0 for name, s in self._samplers.items()}
+        out["total"] = self._total.mean / 1000.0
+        return out
+
+    def dominant(self) -> tuple[str, float]:
+        """The component with the largest mean, as ``(name, mean_ns)``."""
+        means = self.means_ns()
+        means.pop("total")
+        name = max(means, key=means.get)
+        return name, means[name]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.1f}ns" for k, v in self.means_ns().items())
+        return f"<LatencyBreakdown n={self.count} {parts}>"
 
 
 class Sampler:

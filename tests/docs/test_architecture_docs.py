@@ -28,6 +28,10 @@ SCALING_KNOBS = [
     "submission_batch",
     "retire_pipeline_depth",
     "task_pool_ports",
+    "td_cache_entries",
+    "td_prefetch_depth",
+    "kickoff_fast_path",
+    "locality_stealing",
 ]
 
 
@@ -68,7 +72,8 @@ def test_documented_defaults_match_config():
     cfg = SystemConfig()
     text = _doc_text()
     for knob in ("maestro_shards", "master_cores", "submission_batch",
-                 "retire_pipeline_depth", "shard_inbox_entries"):
+                 "retire_pipeline_depth", "shard_inbox_entries",
+                 "td_cache_entries", "td_prefetch_depth"):
         row = re.search(
             rf"^\|\s*`{knob}`\s*\|\s*([^|]+)\|", text, flags=re.MULTILINE
         )
@@ -92,8 +97,15 @@ def test_entry_points_link_architecture_md():
     assert "ARCHITECTURE.md" in (REPO / "ROADMAP.md").read_text()
 
 
-def test_architecture_names_the_three_invariants():
+def test_architecture_names_the_four_invariants():
     text = _doc_text().lower()
     for phrase in ("merge-unit ordering", "check-scatter per-address",
-                   "finish-order per-address"):
+                   "finish-order per-address", "coherence-by-retirement"):
         assert phrase in text, f"invariant {phrase!r} missing"
+
+
+def test_architecture_states_the_ownership_notice_rule():
+    text = _doc_text().lower()
+    assert "ownership notice" in text, (
+        "the fast-path ownership-notice rule must be documented"
+    )

@@ -1,0 +1,185 @@
+"""Unit tests for the TD prefetch cache and the hop-latency attribution.
+
+The cache is pure bookkeeping (no simulation time), so its contract —
+consume-on-hit, LRU eviction per bank, invalidate-on-retire, loud
+staleness — is testable without a machine; ``hop_latency_stats`` is a
+post-run pure function over scoreboard records.
+"""
+
+import pytest
+
+from repro.hw.dispatch import (
+    CachedTD,
+    HOP_COMPONENTS,
+    TDPrefetchCache,
+    hop_latency_stats,
+)
+from repro.hw.errors import ProtocolError
+from repro.scoreboard import TaskRecord
+from repro.sim import LatencyBreakdown
+
+
+def _td(head, tid):
+    return CachedTD(head=head, tid=tid, params=[("p", head)])
+
+
+class TestTDPrefetchCache:
+    def test_hit_consumes_the_entry(self):
+        cache = TDPrefetchCache(n_shards=2, entries_per_shard=2)
+        cache.insert(0, _td(7, 70))
+        assert cache.lookup(7, 70, shard=0) == [("p", 7)]
+        # Consumed: the second dispatch of a recycled head must re-fetch.
+        assert cache.lookup(7, 70, shard=0) is None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_hits_are_bank_local(self):
+        cache = TDPrefetchCache(n_shards=4, entries_per_shard=2)
+        cache.insert(3, _td(9, 90))
+        # A stolen task's descriptor stays in its home bank: the thief's
+        # Send TDs block misses and pays the full Task Pool read.
+        assert cache.lookup(9, 90, shard=1) is None
+        assert cache.lookup(9, 90, shard=3) is not None
+
+    def test_fast_path_migration_moves_the_entry(self):
+        cache = TDPrefetchCache(n_shards=4, entries_per_shard=1)
+        cache.insert(3, _td(9, 90))
+        cache.insert(1, _td(5, 50))
+        # The ownership notice carries the staged copy to the resolving
+        # shard's bank, evicting its LRU slot if full.
+        cache.move(9, 1)
+        assert cache.lookup(5, 50, shard=1) is None  # evicted by the move
+        assert cache.lookup(9, 90, shard=1) is not None
+        assert cache.stats()["migrations"] == 1
+        assert cache.stats()["evictions"] == 1
+        cache.move(9, 2)  # no-op: already consumed
+        assert cache.stats()["migrations"] == 1
+
+    def test_lru_eviction_per_bank(self):
+        cache = TDPrefetchCache(n_shards=2, entries_per_shard=2)
+        cache.insert(0, _td(1, 10))
+        cache.insert(0, _td(2, 20))
+        cache.insert(1, _td(3, 30))  # other bank: no pressure on bank 0
+        cache.insert(0, _td(4, 40))  # evicts head 1 (oldest fill in bank 0)
+        assert cache.lookup(1, 10, shard=0) is None
+        assert cache.lookup(2, 20, shard=0) is not None
+        assert cache.lookup(3, 30, shard=1) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_invalidate_on_retirement(self):
+        cache = TDPrefetchCache(n_shards=1, entries_per_shard=4)
+        cache.insert(0, _td(5, 50))
+        assert cache.invalidate(5) is True
+        assert cache.invalidate(5) is False  # already gone
+        assert cache.lookup(5, 50, shard=0) is None
+        assert cache.stats()["invalidations"] == 1
+
+    def test_stale_entry_is_a_loud_protocol_error(self):
+        """Coherence-by-retirement is asserted, not assumed: a staged
+        descriptor whose head was recycled to a different task without an
+        invalidation is a machine bug, not a miss."""
+        cache = TDPrefetchCache(n_shards=1, entries_per_shard=4)
+        cache.insert(0, _td(5, 50))
+        with pytest.raises(ProtocolError, match="outlived"):
+            cache.lookup(5, 51, shard=0)
+
+    def test_restage_refreshes_not_duplicates(self):
+        cache = TDPrefetchCache(n_shards=2, entries_per_shard=2)
+        cache.insert(0, _td(5, 50))
+        cache.insert(1, CachedTD(head=5, tid=50, params=["new"]))
+        assert cache.occupancy(0) == 0
+        assert cache.occupancy(1) == 1
+        assert cache.lookup(5, 50, shard=1) == ["new"]
+
+    def test_conservation_of_fills(self):
+        cache = TDPrefetchCache(n_shards=1, entries_per_shard=1)
+        cache.insert(0, _td(1, 10))
+        cache.insert(0, _td(2, 20))  # evicts 1
+        assert cache.lookup(2, 20, shard=0) is not None  # hit
+        cache.insert(0, _td(3, 30))
+        cache.invalidate(3)  # retirement reaps it
+        stats = cache.stats()
+        assert stats["fills"] == (
+            stats["hits"] + stats["evictions"] + stats["invalidations"]
+        )
+
+
+class TestLatencyBreakdown:
+    def test_means_and_dominant(self):
+        br = LatencyBreakdown(("a", "b"))
+        br.add(a=1000, b=3000)
+        br.add(a=2000, b=5000)
+        means = br.means_ns()
+        assert means["a"] == pytest.approx(1.5)
+        assert means["b"] == pytest.approx(4.0)
+        assert means["total"] == pytest.approx(5.5)
+        assert br.dominant() == ("b", pytest.approx(4.0))
+        assert br.count == 2
+        assert br.total_ps == pytest.approx(11000)
+
+    def test_component_set_is_enforced(self):
+        br = LatencyBreakdown(("a",))
+        with pytest.raises(ValueError):
+            br.add(b=1)
+        with pytest.raises(ValueError):
+            LatencyBreakdown(("a", "total"))
+
+
+def _record(tid, released_by, writeback_end, ready, dispatched, fetch_start,
+            exec_start):
+    r = TaskRecord(tid)
+    r.released_by = released_by
+    r.writeback_end = writeback_end
+    r.ready = ready
+    r.dispatched = dispatched
+    r.fetch_start = fetch_start
+    r.exec_start = exec_start
+    return r
+
+
+class TestHopLatencyStats:
+    def test_decomposes_a_two_hop_chain(self):
+        # 0 releases 1 releases 2; plus an independent root 3.
+        records = [
+            _record(0, -1, writeback_end=1000, ready=0, dispatched=100,
+                    fetch_start=200, exec_start=300),
+            _record(1, 0, writeback_end=3000, ready=1100, dispatched=1300,
+                    fetch_start=1600, exec_start=2000),
+            _record(2, 1, writeback_end=9000, ready=3200, dispatched=3300,
+                    fetch_start=3400, exec_start=3500),
+            _record(3, -1, writeback_end=5000, ready=0, dispatched=50,
+                    fetch_start=60, exec_start=70),
+        ]
+        stats = hop_latency_stats(records, makespan=10_000)
+        assert stats["chain_depth"] == 2
+        assert stats["released_tasks"] == 2
+        # Hop 0->1: resolve 100, forward 200, td 300, start 400 (total 1000).
+        # Hop 1->2: resolve 200, forward 100, td 100, start 100 (total 500).
+        assert stats["hop_ns"]["resolve"] == pytest.approx(0.15)
+        assert stats["chain_hop_ns"]["total"] == pytest.approx(0.75)
+        assert stats["chain_span_ps"] == 1500
+        assert stats["chain_fraction"] == pytest.approx(0.15)
+        assert stats["dominant_chain_component"] in HOP_COMPONENTS
+
+    def test_no_released_tasks_yields_empty_chain(self):
+        records = [
+            _record(0, -1, writeback_end=100, ready=0, dispatched=1,
+                    fetch_start=2, exec_start=3)
+        ]
+        stats = hop_latency_stats(records, makespan=100)
+        assert stats["chain_depth"] == 0
+        assert stats["released_tasks"] == 0
+        assert stats["chain_fraction"] == 0.0
+        assert "dominant_chain_component" not in stats
+
+    def test_truncated_records_are_skipped(self):
+        records = [
+            _record(0, -1, writeback_end=100, ready=0, dispatched=1,
+                    fetch_start=2, exec_start=3),
+            # Released but never dispatched (truncated run).
+            _record(1, 0, writeback_end=-1, ready=110, dispatched=-1,
+                    fetch_start=-1, exec_start=-1),
+        ]
+        stats = hop_latency_stats(records, makespan=200)
+        assert stats["released_tasks"] == 0
+        assert stats["chain_depth"] == 1  # the link still counts for depth

@@ -1,0 +1,207 @@
+"""TD-cache coherence and fast-path property tests.
+
+The fast-dispatch subsystem is speculation layered over the retirement
+protocol, so its safety argument is coherence-by-retirement
+(ARCHITECTURE.md invariant 4): **no TD cache entry outlives its Task Pool
+chain**.  These tests exercise the three ways an entry dies —
+
+* *consumed* by the dispatch it was staged for (a hit),
+* *evicted* under ``td_cache_entries`` pressure (the dispatch then
+  re-fetches through the normal Task Pool path — a miss, never a stale
+  descriptor),
+* *invalidated* when retirement frees the chain (dead speculation),
+
+— and pin the conservation law ``fills == hits + evictions +
+invalidations`` that proves the classification is exhaustive: after a
+drained run the cache is empty, so every staged entry is accounted for.
+
+On top of coherence, every feature combination (cache on/off x fast path
+on/off, plus eviction pressure and deep prefetch) must retire **exactly
+the task set the baseline machine retires** on seeded hazard-dense random
+traces, with a schedule the golden dependence graph accepts.  The stale
+path itself (a hit whose staged tid mismatches the live task) is a
+:class:`ProtocolError` — checked at the unit level in
+``tests/hw/test_dispatch_cache.py``.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.machine import run_trace
+from repro.runtime.task_graph import build_task_graph
+from repro.traces import random_trace
+from repro.traces.trace import AccessMode, Param, TaskTrace, TraceTask
+
+SEEDS = [0, 1, 2]
+
+#: Hazard-dense pools: few addresses, parameter lists past the TD limit.
+TRACE_KW = dict(n_tasks=80, n_addresses=10, max_params=6, mean_exec=1500)
+
+FEATURES = {
+    "baseline": {},
+    "cache": dict(td_cache_entries=8),
+    "fastpath": dict(kickoff_fast_path=True),
+    "both": dict(td_cache_entries=8, kickoff_fast_path=True),
+    "tiny-cache": dict(td_cache_entries=1, kickoff_fast_path=True),
+    "deep-prefetch": dict(
+        td_cache_entries=8, td_prefetch_depth=3, kickoff_fast_path=True
+    ),
+}
+
+
+def _trace(seed):
+    return random_trace(seed=seed, name=f"random-{seed}", **TRACE_KW)
+
+
+def _config(**features):
+    return SystemConfig(
+        workers=4, maestro_shards=2, memory_batch_chunks=8, **features
+    )
+
+
+def _retired_tids(result):
+    return {r.tid for r in result.records if r.is_complete()}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("features", sorted(FEATURES))
+def test_every_config_retires_the_baseline_task_set(seed, features):
+    trace = _trace(seed)
+    graph = build_task_graph(trace)
+    baseline = run_trace(trace, _config())
+    result = run_trace(trace, _config(**FEATURES[features]))
+    assert _retired_tids(result) == _retired_tids(baseline) == set(range(len(trace)))
+    problems = result.verify_against(graph)
+    assert problems == [], "\n".join(problems[:5])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cache_entries_never_outlive_their_chain(seed):
+    """The conservation law: every staged entry was consumed by its
+    dispatch, evicted under pressure, or invalidated at retirement —
+    nothing is left after the machine drains."""
+    trace = _trace(seed)
+    result = run_trace(
+        trace, _config(td_cache_entries=4, kickoff_fast_path=True)
+    )
+    cache = result.stats["dispatch"]["fast_dispatch"]["td_cache"]
+    assert cache["fills"] > 0
+    assert cache["fills"] == (
+        cache["hits"] + cache["evictions"] + cache["invalidations"]
+    )
+    # Every dispatch consulted the cache exactly once.
+    assert cache["hits"] + cache["misses"] == len(trace)
+
+
+def _fanout_trace(n_waiters: int = 24) -> TaskTrace:
+    """One long-running writer, ``n_waiters`` readers blocked behind it.
+
+    Every reader sits *near-ready* (DC=1) for the writer's whole runtime,
+    so the prefetch engines stage all of them — deterministic pressure on
+    a small cache bank, deterministic eviction of staged-but-undispatched
+    entries."""
+    addr = 0x1000
+    tasks = [
+        TraceTask(
+            tid=0, func=0, params=(Param(addr, 64, AccessMode.OUT),),
+            exec_time=500_000,
+        )
+    ]
+    for tid in range(1, n_waiters + 1):
+        tasks.append(
+            TraceTask(
+                tid=tid,
+                func=0,
+                params=(
+                    Param(addr, 64, AccessMode.IN),
+                    Param(0x2000 + 64 * tid, 64, AccessMode.OUT),
+                ),
+                exec_time=1000,
+            )
+        )
+    return TaskTrace("fanout", tasks)
+
+
+def test_evicted_prefetch_is_refetched():
+    """A one-entry cache under a near-ready flood must evict staged TDs;
+    the dispatches that lose their entry re-fetch through the Task Pool
+    (misses), and the run stays complete and legal — eviction can cost
+    time, never correctness."""
+    trace = _fanout_trace()
+    graph = build_task_graph(trace)
+    result = run_trace(trace, _config(td_cache_entries=1))
+    cache = result.stats["dispatch"]["fast_dispatch"]["td_cache"]
+    assert cache["evictions"] > 0
+    # An evicted entry's dispatch cannot hit: the miss *is* the re-fetch,
+    # and every task still dispatched exactly once, legally.
+    assert cache["misses"] >= cache["evictions"]
+    assert cache["hits"] + cache["misses"] == len(trace)
+    assert result.verify_against(graph) == []
+    # A roomy cache swallows the same flood without evicting.
+    roomy = run_trace(trace, _config(td_cache_entries=32))
+    roomy_cache = roomy.stats["dispatch"]["fast_dispatch"]["td_cache"]
+    assert roomy_cache["evictions"] == 0
+    assert roomy_cache["hits"] > cache["hits"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_retirement_invalidates_dead_speculation(seed):
+    """Some staged TDs are dead on arrival (their dispatch raced ahead of
+    the fill); retirement must reap them — the conservation law above
+    proves none survive, this pins that the reap path actually runs."""
+    trace = _trace(seed)
+    result = run_trace(
+        trace, _config(td_cache_entries=8, td_prefetch_depth=3)
+    )
+    cache = result.stats["dispatch"]["fast_dispatch"]["td_cache"]
+    sub = result.stats["dispatch"]["fast_dispatch"]
+    # Speculation fired...
+    assert sub["prefetch_requests"] > 0
+    # ...and whatever was not consumed or evicted died at retirement.
+    assert cache["invalidations"] == (
+        cache["fills"] - cache["hits"] - cache["evictions"]
+    )
+
+
+def test_locality_stealing_suppresses_post_forward_ping_pong():
+    """The steal-after-forward regression: with the old ticket policy an
+    idle shard steals a task one cycle after the finish engine paid the
+    forward hop to send it home; the locality policy (ticket deferral to
+    a self-serving home shard) must eliminate nearly all of it without
+    losing completeness."""
+    from repro.config import BUS_MODEL_FITTED
+
+    trace = random_trace(
+        400, n_addresses=96, max_params=6, seed=7, mean_exec=4000, mean_memory=0
+    )
+    graph = build_task_graph(trace)
+    kw = dict(
+        workers=16,
+        maestro_shards=4,
+        master_cores=4,
+        submission_batch=8,
+        retire_pipeline_depth=4,
+        memory_contention=False,
+        bus_model=BUS_MODEL_FITTED,
+    )
+    ticket = run_trace(trace, SystemConfig(locality_stealing=False, **kw))
+    locality = run_trace(trace, SystemConfig(locality_stealing=True, **kw))
+    assert ticket.stats["shards"]["steals_after_forward"] > 0
+    assert (
+        locality.stats["shards"]["steals_after_forward"]
+        < ticket.stats["shards"]["steals_after_forward"]
+    )
+    for result in (ticket, locality):
+        assert result.verify_against(graph) == []
+    # The deferral must not cost throughput on the machine it protects.
+    assert locality.makespan <= ticket.makespan * 1.05
+
+
+def test_fast_path_reports_ownership_notices():
+    """Every remote fast dispatch posts exactly one non-blocking
+    ownership notice to the task's home shard."""
+    trace = _trace(0)
+    result = run_trace(trace, _config(kickoff_fast_path=True))
+    sub = result.stats["dispatch"]["fast_dispatch"]
+    assert sub["ownership_notices"] == sub["fast_dispatches_remote"]
+    assert sub["fast_dispatches"] >= sub["fast_dispatches_remote"]

@@ -104,6 +104,62 @@ class TestRetireVerdict:
         assert rep.verdict != "retire"
         assert rep.occupancy["retire"] < 0.5
 
+class TestLatencyVerdict:
+    """The latency-bound verdict: the bugfix for runs where nothing is
+    >= 50% busy and the old report shrugged "application"."""
+
+    def _result(self, n_tasks=600, **features):
+        from repro.config import BUS_MODEL_FITTED
+        from repro.traces import random_trace
+
+        trace = random_trace(
+            n_tasks, n_addresses=96, max_params=6, seed=7,
+            mean_exec=4000, mean_memory=0,
+        )
+        cfg = SystemConfig(
+            workers=16, maestro_shards=4, master_cores=4, submission_batch=8,
+            retire_pipeline_depth=4, memory_contention=False,
+            bus_model=BUS_MODEL_FITTED, **features,
+        )
+        return run_trace(trace, cfg), cfg
+
+    def test_latency_bound_run_is_attributed_with_chain_arithmetic(self):
+        result, cfg = self._result()
+        rep = analyze_bottleneck(result, cfg)
+        assert rep.verdict == "latency"
+        # The verdict carries chain depth x mean hop ns and the dominant
+        # hop component — not just a label.
+        assert rep.detail is not None
+        assert "critical chain" in rep.detail
+        assert "ns/hop" in rep.detail
+        assert "dominant hop component" in rep.detail
+        assert rep.detail.split("dominant hop component:")[1].strip()
+        assert rep.describe().endswith(rep.detail)
+
+    def test_application_bound_chains_stay_application_bound(self):
+        """Long chains of *long tasks* are an application property, not a
+        machinery-latency one: execution time is excluded from the hop
+        components, so the latency verdict must not fire."""
+        trace = horizontal_chains_trace(rows=4, cols=50, time_model=FAST)
+        cfg = SystemConfig(workers=32, memory_contention=False)
+        result = run_trace(trace, cfg)
+        rep = analyze_bottleneck(result, cfg)
+        assert rep.verdict == "application"
+        assert result.stats["dispatch"]["chain_fraction"] < 0.5
+
+    def test_fast_dispatch_lifts_the_latency_verdict(self):
+        """On the full-size bench machine the subsystem cuts the hop
+        enough that the machine runs back into the master front-end —
+        the latency verdict must move on (the bench pins the speedup)."""
+        result, cfg = self._result(
+            n_tasks=1200,
+            td_cache_entries=64, td_prefetch_depth=2, kickoff_fast_path=True,
+        )
+        rep = analyze_bottleneck(result, cfg)
+        assert rep.verdict != "latency"
+
+
+class TestRetireVerdictShape:
     def test_retire_verdict_needs_a_retire_busiest_block(self):
         """A moderate pipe-full fraction alone must not flip the verdict
         when some other Maestro stage is the most loaded one."""

@@ -203,6 +203,70 @@ class TestRetirePipelineCli:
         assert main(["info", "--shards", "4", "--retire-depth", "4"]) == 0
         out = capsys.readouterr().out
         assert "Retire pipeline depth" in out
+
+    def test_run_with_fast_dispatch(self, capsys):
+        rc = main(["run", "random", "--tasks", "60", "--addresses", "16",
+                   "--workers", "4", "--shards", "2", "--td-cache", "16",
+                   "--fast-path", "--prefetch-depth", "2", "--verify",
+                   "--no-contention"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dependence check: OK" in out
+        assert "fast dispatch: TD cache" in out
+        assert "critical chain" in out
+
+    def test_dispatch_sweep_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "dispatch.json"
+        rc = main(["sweep", "random", "--tasks", "80", "--addresses", "16",
+                   "--workers", "4", "--shards", "2", "--dispatch",
+                   "--td-cache", "16", "--no-contention",
+                   "--json", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resolve/fwd/TD/start" in out
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["shards"] == 2
+        assert data["baseline"] == {"td_cache": 0, "fast_path": False}
+        assert [(r["td_cache"], r["fast_path"]) for r in data["rows"]] == [
+            (0, False), (16, False), (0, True), (16, True),
+        ]
+        assert data["rows"][0]["speedup_vs_baseline"] == 1.0
+        assert "chain_hop_ns" in data["rows"][0]
+
+    def test_dispatch_sweep_rejects_bad_usage(self):
+        # Needs a single sharded --shards value.
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--dispatch"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--dispatch",
+                  "--shards", "1"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--dispatch",
+                  "--shards", "1,2"])
+        # The grid toggles the fast path itself; a zero-size cache-on
+        # point is meaningless.
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--dispatch",
+                  "--shards", "2", "--fast-path"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--dispatch",
+                  "--shards", "2", "--td-cache", "0"])
+
+    def test_run_fast_dispatch_without_shards_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "random", "--tasks", "40", "--td-cache", "16"])
+        with pytest.raises(SystemExit):
+            main(["run", "random", "--tasks", "40", "--fast-path"])
+
+    def test_info_shows_dispatch_geometry(self, capsys):
+        assert main(["info", "--shards", "4", "--td-cache", "64",
+                     "--fast-path"]) == 0
+        out = capsys.readouterr().out
+        assert "TD prefetch cache" in out
+        assert "Kick-off fast path" in out
+        assert "Steal policy" in out
         assert "Task Pool ports" in out
 
     def test_malformed_retire_depth_is_usage_error(self):
