@@ -8,9 +8,11 @@ Commands
              Maestro shard-scaling curve when ``--shards`` is given, a
              submission front-end sweep when ``--masters`` is given, a
              retire pipeline-depth sweep when ``--retire-depth`` is a
-             comma list (fixed single --shards), or the fast-dispatch
+             comma list (fixed single --shards), the fast-dispatch
              feature grid (TD cache x kick-off fast path) with
-             ``--dispatch`` (fixed single --shards)
+             ``--dispatch`` (fixed single --shards), or the
+             staged-resolve grid (coalescing x speculative kick-off)
+             with ``--resolve`` (fixed single --shards)
 ``workloads``list the available workload generators
 ``validate`` check a saved trace file for well-formedness and graph stats
 
@@ -30,6 +32,12 @@ Examples::
         --retire-depth 4 --td-cache 64 --fast-path --no-contention
     python -m repro sweep random --tasks 1200 --shards 4 --masters 4 --batch 8 \
         --retire-depth 4 --dispatch --no-contention --json BENCH_dispatch_latency.json
+    python -m repro run random --tasks 1200 --shards 4 --masters 8 --batch 8 \
+        --retire-depth 4 --td-cache 64 --fast-path --coalesce 8 --spec-kickoff \
+        --no-contention
+    python -m repro sweep random --tasks 1200 --shards 4 --masters 8 --batch 8 \
+        --retire-depth 4 --td-cache 64 --fast-path --resolve --no-contention \
+        --json BENCH_resolve_latency.json
     python -m repro run cholesky --tiles 6 --workers 8 --bottleneck
 """
 
@@ -45,6 +53,7 @@ from .machine import (
     analyze_bottleneck,
     dispatch_latency_sweep,
     master_scaling_sweep,
+    resolve_scaling_sweep,
     retire_scaling_sweep,
     run_trace,
     shard_scaling_sweep,
@@ -177,6 +186,14 @@ def _config_from(
         overrides["kickoff_fast_path"] = True
     if getattr(args, "prefetch_depth", None) is not None:
         overrides["td_prefetch_depth"] = args.prefetch_depth
+    if getattr(args, "coalesce", None) is not None:
+        overrides["finish_coalesce_limit"] = args.coalesce
+    if getattr(args, "coalesce_window", None) is not None:
+        from .sim import NS
+
+        overrides["finish_coalesce_window"] = args.coalesce_window * NS
+    if getattr(args, "spec_kickoff", False):
+        overrides["speculative_kickoff"] = True
     try:
         return SystemConfig(**overrides)
     except ValueError as exc:
@@ -223,9 +240,39 @@ def _add_dispatch_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resolve_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--coalesce", type=int, default=None,
+        help="finish notifications drained per resolve activation "
+        "(1 = the paper's one-at-a-time loop)",
+    )
+    p.add_argument(
+        "--coalesce-window", type=int, default=None,
+        help="ns the notify intake waits for stragglers before draining "
+        "a batch (needs --coalesce > 1)",
+    )
+    p.add_argument(
+        "--spec-kickoff", action="store_true",
+        help="speculative kick-off: waiter kicks run in per-shard kick "
+        "units, overlapping the next notification's table update",
+    )
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     cfg = _config_from(args, shards=args.shards)
     print(render_table(["parameter", "value"], cfg.table_iv(), "System configuration"))
+    # Completeness listing: every SystemConfig knob with its effective
+    # value, so no knob (present or future) can hide from `info` — the
+    # Table IV view above stays paper-shaped and only shows the knobs
+    # that shape this machine.
+    import dataclasses
+
+    rows = [
+        [f.name, repr(getattr(cfg, f.name))]
+        for f in dataclasses.fields(cfg)
+    ]
+    print()
+    print(render_table(["knob", "value"], rows, "All configuration knobs"))
     return 0
 
 
@@ -302,6 +349,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{hop.get('forward', 0.0):.0f} / TD {hop.get('td_transfer', 0.0):.0f} "
             f"/ start {hop.get('start', 0.0):.0f})"
         )
+    resolve = result.stats.get("resolve", {})
+    if resolve.get("coalesce_limit", 1) > 1 or resolve.get("speculative_kickoff"):
+        bits = []
+        if resolve["coalesce_limit"] > 1:
+            bits.append(
+                f"coalesce {resolve['coalesce_limit']}: mean batch "
+                f"{resolve['mean_batch']:.2f}, {resolve['row_merges']} row "
+                f"merges ({resolve['coalesce_rate']:.0%})"
+            )
+        if resolve["speculative_kickoff"]:
+            bits.append(f"{resolve['speculative_kicks']} speculative kicks")
+        print(
+            f"resolve pipeline: {'; '.join(bits)}; "
+            f"{resolve['batches']} batches / {resolve['updates']} table updates"
+        )
     frontend = result.stats.get("frontend")
     if frontend:
         print(
@@ -315,6 +377,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args)
+    if getattr(args, "resolve", False) and getattr(args, "dispatch", False):
+        raise SystemExit(
+            "--resolve and --dispatch select different sweep grids; "
+            "pick one (run the sweep twice for both curves)"
+        )
+    if getattr(args, "resolve", False):
+        return _resolve_sweep(trace, args)
     if getattr(args, "dispatch", False):
         return _dispatch_sweep(trace, args)
     if args.retire_depth and "," in str(args.retire_depth):
@@ -517,6 +586,74 @@ def _dispatch_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
+    """Staged-resolve feature-grid sweep at a fixed machine shape."""
+    shards = _int_values("shards", args.shards) if args.shards else []
+    if len(shards) != 1 or shards[0] < 2:
+        raise SystemExit(
+            "--resolve sweeps the staged-resolve features at a fixed shard "
+            "count; give --shards a single value > 1 (the grid targets the "
+            "sharded machine — use resolve_scaling_sweep directly for a "
+            "single-Maestro study)"
+        )
+    coalesce = args.coalesce if args.coalesce is not None else 8
+    if coalesce < 2:
+        raise SystemExit("--coalesce must be >= 2 for a --resolve sweep")
+    if args.spec_kickoff:
+        raise SystemExit(
+            "--spec-kickoff cannot be combined with --resolve: the sweep "
+            "itself toggles speculative kick-off (its grid covers on and off)"
+        )
+    window = (args.coalesce_window or 0)
+    # The sweep itself toggles the resolve knobs; everything else is the
+    # fixed machine under test (--coalesce only sizes the on points).
+    args.coalesce = args.coalesce_window = None
+    cfg = _config_from(args, shards=shards[0])
+    from .sim import NS
+
+    report = resolve_scaling_sweep(trace, cfg, coalesce=coalesce, window=window * NS)
+    rows = []
+    for r in report.rows():
+        hop = r["chain_hop_ns"]
+        rows.append(
+            [
+                r["coalesce"] if r["coalesce"] > 1 else "off",
+                "on" if r["speculative"] else "off",
+                f"{r['makespan_ps'] / 1e9:.4g}",
+                round(r["speedup_vs_baseline"], 2),
+                f"{hop.get('resolve', 0.0):.0f}",
+                f"{hop.get('total', 0.0):.0f}",
+                f"{r['mean_batch']:.2f}",
+                f"{r['coalesce_rate']:.1%}",
+                r["speculative_kicks"],
+            ]
+        )
+    base_c, base_s = report.baseline_point
+    print(
+        render_table(
+            [
+                "coalesce",
+                "spec kick",
+                "makespan (ms)",
+                f"speedup vs {base_c if base_c > 1 else 'off'}"
+                f"/{'on' if base_s else 'off'}",
+                "resolve ns",
+                "ns/hop",
+                "mean batch",
+                "merge rate",
+                "spec kicks",
+            ],
+            rows,
+            f"{trace.name} @ {cfg.workers} workers, {cfg.maestro_shards} shard(s), "
+            f"{cfg.master_cores} master(s), retire depth "
+            f"{cfg.retire_pipeline_depth}",
+        )
+    )
+    if args.json:
+        _write_json(args.json, report.to_json_dict())
+    return 0
+
+
 def _master_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     """Submission front-end scaling curve at fixed workers and shards."""
     master_counts = _int_values("masters", args.masters)
@@ -609,6 +746,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="finishes in flight per shard's retire front-end",
     )
     _add_dispatch_args(p_info)
+    _add_resolve_args(p_info)
     p_info.set_defaults(func=_cmd_info)
 
     p_wl = sub.add_parser("workloads", help="list workload generators")
@@ -628,6 +766,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="finishes in flight per shard's retire front-end",
     )
     _add_dispatch_args(p_run)
+    _add_resolve_args(p_run)
     p_run.add_argument("--verify", action="store_true", help="check schedule legality")
     p_run.add_argument("--bottleneck", action="store_true", help="attribute the bottleneck")
     p_run.set_defaults(func=_cmd_run)
@@ -662,11 +801,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         "list switches to a retire pipeline-depth sweep (fixed --shards)",
     )
     _add_dispatch_args(p_sweep)
+    _add_resolve_args(p_sweep)
     p_sweep.add_argument(
         "--dispatch",
         action="store_true",
         help="sweep the fast-dispatch feature grid (cache x fast path) at a "
         "fixed single --shards; --td-cache sets the cache-on size",
+    )
+    p_sweep.add_argument(
+        "--resolve",
+        action="store_true",
+        help="sweep the staged-resolve grid (coalescing x speculative "
+        "kick-off) at a fixed single --shards; --coalesce sets the "
+        "on-point batch limit",
     )
     p_sweep.add_argument("--json", default=None, help="write the sweep report to a JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)

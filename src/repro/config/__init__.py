@@ -1,6 +1,7 @@
 """Configuration for the Nexus++ machine (Table IV of the paper)."""
 
 from .presets import (
+    coalesced_resolve,
     contention_free,
     fast_dispatch,
     fast_functional,
@@ -26,4 +27,5 @@ __all__ = [
     "multi_master",
     "pipelined_retire",
     "fast_dispatch",
+    "coalesced_resolve",
 ]

@@ -14,6 +14,7 @@ __all__ = [
     "multi_master",
     "pipelined_retire",
     "fast_dispatch",
+    "coalesced_resolve",
 ]
 
 
@@ -139,6 +140,47 @@ def fast_dispatch(
     """
     return SystemConfig(
         workers=workers,
+        td_cache_entries=td_cache,
+        td_prefetch_depth=prefetch_depth,
+        kickoff_fast_path=True,
+        retire_pipeline_depth=depth,
+        master_cores=masters,
+        submission_batch=batch,
+        maestro_shards=shards,
+        **overrides,
+    )
+
+
+def coalesced_resolve(
+    coalesce: int = 8,
+    window: int = 0,
+    td_cache: int = 64,
+    prefetch_depth: int = 2,
+    depth: int = 4,
+    masters: int = 8,
+    batch: int = 8,
+    shards: int = 4,
+    workers: int = 16,
+    **overrides,
+) -> SystemConfig:
+    """Staged resolve pipeline on top of the fast-dispatch machine (beyond
+    the paper): finish-notification coalescing (up to ``coalesce``
+    notifications drained per resolve activation, same-row Dependence
+    Table updates merged into one row access, the probe/modify stages
+    pipelined across the batch) plus speculative kick-off (per-shard kick
+    units overlap each waiter kick with the next notification's
+    table-update commit).
+
+    Defaults pair the pipeline with an 8-master fast-dispatch machine —
+    PR 4's bench left the 4-master machine master-bound again, and with
+    the front-end widened the hazard-dense workload is *resolve*-bound
+    (~47 ns resolve hop), which is exactly what these knobs cut.
+    """
+    return SystemConfig(
+        workers=workers,
+        finish_coalesce_limit=coalesce,
+        finish_coalesce_window=window,
+        speculative_kickoff=True,
         td_cache_entries=td_cache,
         td_prefetch_depth=prefetch_depth,
         kickoff_fast_path=True,

@@ -137,6 +137,36 @@ class SystemConfig:
     #: ownership notice to the home shard keeps retirement bookkeeping
     #: unchanged.  Also a sharded-engine knob.
     kickoff_fast_path: bool = False
+    # ---- staged resolve pipeline ---------------------------------------------------
+    #: Finish notifications/messages a resolve stage drains per activation
+    #: (finish-notification coalescing).  1 reproduces the paper's
+    #: one-notification-at-a-time loop exactly; N > 1 lets the notify
+    #: intake pull up to N already-arrived notifications in one batch and
+    #: lets the dependence-table update stage merge updates that hit the
+    #: same Dependence Table row into a single row access (the hash probe
+    #: is paid once per row per batch).  Per-address finish order is
+    #: preserved: batches drain in arrival order and same-row updates
+    #: apply in that order within the merged access (ARCHITECTURE.md
+    #: invariant 5).  Works on both Maestro engines.
+    finish_coalesce_limit: int = 1
+    #: Picoseconds the notify intake waits after the first notification of
+    #: a batch for stragglers to land before draining (0 = drain only
+    #: what already arrived).  Trades a bounded added latency on the
+    #: first notification for larger batches; meaningful only with
+    #: ``finish_coalesce_limit`` > 1 (setting it alone is an error rather
+    #: than a silent no-op).
+    finish_coalesce_window: int = 0
+    #: Speculative kick-off: hand became-ready waiter kicks to a dedicated
+    #: per-shard kick unit instead of running them inline in the resolve
+    #: loop, so the kick of one notification's waiter overlaps the
+    #: dependence-table update commit of the *next* notification.  The
+    #: kick unit arbitrates for the same Task Pool ports as every other
+    #: block (no conjured bandwidth) and preserves kick order per shard
+    #: (a FIFO hand-off).  Composes with the fast-dispatch subsystem: the
+    #: kick-off fast path and prefetch notices fire from the kick unit.
+    #: Works on both Maestro engines.
+    speculative_kickoff: bool = False
+
     #: Locality-aware work stealing: an idle shard prefers stealing from
     #: shards that have no idle worker of their own, leaving a ready task
     #: whose home pool already holds an idle core for that core (its home
@@ -278,6 +308,22 @@ class SystemConfig:
                 "(set maestro_shards > 1 or force_sharded_maestro); the "
                 "single-Maestro machine would silently ignore it"
             )
+        if self.finish_coalesce_limit < 1:
+            raise ValueError(
+                f"finish_coalesce_limit must be >= 1, got "
+                f"{self.finish_coalesce_limit}"
+            )
+        if self.finish_coalesce_window < 0:
+            raise ValueError(
+                f"finish_coalesce_window must be >= 0, got "
+                f"{self.finish_coalesce_window}"
+            )
+        if self.finish_coalesce_window > 0 and self.finish_coalesce_limit == 1:
+            raise ValueError(
+                "finish_coalesce_window > 0 needs finish_coalesce_limit > 1: "
+                "a batch window with a one-notification batch limit would "
+                "silently add latency and coalesce nothing"
+            )
         if self.locality_stealing and not self.use_sharded_maestro:
             raise ValueError(
                 "locality_stealing=True requires the sharded Maestro "
@@ -339,6 +385,13 @@ class SystemConfig:
         """True when the machine should wire the fast-dispatch subsystem
         (TD prefetch caches and/or the kick-off fast path)."""
         return self.td_cache_entries > 0 or self.kickoff_fast_path
+
+    @property
+    def use_resolve_pipeline(self) -> bool:
+        """True when a staged-resolve optimization is on (finish-notification
+        coalescing and/or speculative kick-off); False is the paper-exact
+        serial resolve loop on both engines."""
+        return self.finish_coalesce_limit > 1 or self.speculative_kickoff
 
     @property
     def steal_locality(self) -> bool:
@@ -447,6 +500,21 @@ class SystemConfig:
                 (
                     "Steal policy",
                     "locality" if self.steal_locality else "ticket",
+                ),
+            ]
+        if self.use_resolve_pipeline:
+            extra += [
+                (
+                    "Finish coalesce limit",
+                    f"{self.finish_coalesce_limit} notifications/batch",
+                ),
+                (
+                    "Finish coalesce window",
+                    f"{self.finish_coalesce_window / NS:g}ns",
+                ),
+                (
+                    "Speculative kick-off",
+                    "on" if self.speculative_kickoff else "off",
                 ),
             ]
         return [

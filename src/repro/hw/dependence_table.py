@@ -132,6 +132,14 @@ class DependenceTable:
         self._buckets: Dict[int, List[int]] = {}
         #: Physical slots in use (address entries + Kick-Off dummies).
         self.occupied = 0
+        #: Tasks currently queued across all Kick-Off Lists (live hazards).
+        self.queued_waiters = 0
+        #: Optional time-weighted recorder (``LevelStat``-shaped: has
+        #: ``record(level)``) the fabric attaches so the run can report the
+        #: kick-off waiter occupancy over time, not just its high-water
+        #: mark — the in-flight-hazard signal the admission-throttle study
+        #: reads.  Bookkeeping only: recording emits no simulation events.
+        self.waiter_stat = None
         # ---- statistics used by Fig. 6 and the benches -----------------------
         self.high_water = 0
         self.max_hash_chain = 0
@@ -231,6 +239,9 @@ class DependenceTable:
         entry.kick.append(waiter)
         if len(entry.kick) > self.max_kickoff_waiters:
             self.max_kickoff_waiters = len(entry.kick)
+        self.queued_waiters += 1
+        if self.waiter_stat is not None:
+            self.waiter_stat.record(self.queued_waiters)
         return extra_accesses
 
     def _pop_waiter(self, entry: DTEntry) -> Tuple[Waiter, int]:
@@ -240,6 +251,9 @@ class DependenceTable:
         read plus one write when a physical segment empties.
         """
         waiter = entry.kick.popleft()
+        self.queued_waiters -= 1
+        if self.waiter_stat is not None:
+            self.waiter_stat.record(self.queued_waiters)
         needed = kickoff_entries_needed(max(len(entry.kick), 1), self.kickoff_size)
         extra_accesses = 0
         if needed < entry.phys_entries:
@@ -289,18 +303,49 @@ class DependenceTable:
     # ---- the Handle Finished operation -------------------------------------------------
 
     def finish_param(
-        self, tid: int, addr: int, reads: bool, writes: bool
+        self, tid: int, addr: int, reads: bool, writes: bool,
+        row_latched: bool = False, probe_overlapped: bool = False,
     ) -> Tuple[List[int], int]:
         """Process one parameter of a completed task.
 
         Returns ``(granted_tids, accesses)``: tasks released from the
         Kick-Off List; the caller decrements each one's Dependence Counter
         in the Task Pool.
+
+        Two coalesced-resolve discounts (see :mod:`repro.hw.resolve`):
+
+        * ``row_latched`` — an earlier update of the same batch already
+          probed the hash chain and holds the row in the update register,
+          so the lookup costs nothing and is not counted in the probe
+          statistics.  Kick-Off List manipulations (waiter pops, dummy
+          promotion) still pay — only the repeated row fetch is merged
+          away.  The entry must exist: a batch can only latch a row one
+          of its own updates just touched, and no update of the batch can
+          delete a row another update still needs (each pending update
+          holds an access on the segment).
+        * ``probe_overlapped`` — the probe/modify stages of the table are
+          pipelined: this update's hash probe proceeded while the batch's
+          previous update committed, so the probe accesses are not
+          charged (they are still counted in the probe statistics — the
+          probe physically happens, it just hides behind the write-back).
+          Only legal for a non-first update of a drained batch.
         """
-        entry, probes = self._lookup(addr)
-        accesses = probes
-        if entry is None:
-            raise ProtocolError(f"task {tid} finished unknown segment {addr:#x}")
+        if row_latched:
+            entry = self._table.get(addr)
+            accesses = 0
+            if entry is None:
+                raise ProtocolError(
+                    f"task {tid}: coalesced finish for {addr:#x} found no "
+                    "latched row — an earlier update of the batch deleted "
+                    "an entry a later update still needed"
+                )
+        else:
+            entry, probes = self._lookup(addr)
+            accesses = 0 if probe_overlapped else probes
+            if entry is None:
+                raise ProtocolError(
+                    f"task {tid} finished unknown segment {addr:#x}"
+                )
         granted: List[int] = []
         if reads and not writes:
             if entry.readers <= 0:

@@ -31,6 +31,14 @@ module attacks the two biggest serial components:
   ownership, so retirement bookkeeping — which keys off the shard the
   worker core's finished line terminates at — is unchanged.
 
+Both hooks ride on the *waiter kick* stage of the staged resolve
+pipeline (:mod:`repro.hw.resolve`): the kick body that fires them is
+shared between the inline resolve loop and the speculative kick units,
+so with ``speculative_kickoff`` on, the kick-off fast path dispatches
+and the near-ready prefetch notices are issued from the kick unit —
+overlapped with the finish engine's next table update — with identical
+timing and identical ownership/coherence bookkeeping.
+
 Coherence is **by retirement** (ARCHITECTURE.md invariant 4): a cached TD
 is invalidated the moment its Task Pool chain is freed
 (:func:`repro.hw.maestro.retire_free_block`), so no cache entry can

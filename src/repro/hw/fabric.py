@@ -36,6 +36,13 @@ fast path lets a resolving shard dispatch a became-ready waiter straight
 to an idle local worker (see :mod:`repro.hw.dispatch`).  The subsystem's
 structures (``Fabric.dispatch``) exist only when a feature is enabled.
 
+A fifth extension stages the *resolve* path
+(``config.finish_coalesce_limit`` / ``config.speculative_kickoff``): the
+finish/kick loop of both engines runs on the shared staged blocks of
+:mod:`repro.hw.resolve` (``Fabric.resolve`` owns the knobs, coalescing
+counters and — only when speculative kick-off is on — the per-shard kick
+queues their kick units drain).
+
 Interconnect message formats (payloads of :meth:`Interconnect.message`):
 
 ==================  =================================  =======================
@@ -215,6 +222,11 @@ class Fabric:
         #: on; ``None`` otherwise — see ``_build_shards``).
         self.dispatch = None
 
+        #: Staged resolve pipeline owner (both engines; its speculative
+        #: kick queues exist only when ``speculative_kickoff`` is on).
+        #: Built below once the engine shape is known.
+        self.resolve = None
+
         # ---- tables -------------------------------------------------------------
         self.task_pool = TaskPool(
             config.task_pool_entries, config.max_params_per_td, config.restricted
@@ -239,6 +251,26 @@ class Fabric:
             self.dt_freed = Signal(sim, name="dt-freed")
         else:
             self._build_shards()
+
+        # Staged resolve pipeline (finish-notification coalescing +
+        # speculative kick-off): the owner exists on every machine — its
+        # counters are free bookkeeping — but kick queues/processes are
+        # built only when a knob is on, so the knobs-off machine carries
+        # no extra events (see repro.hw.resolve).
+        from .resolve import ResolvePipeline
+
+        self.resolve = ResolvePipeline(self)
+
+        #: Time-weighted kick-off waiter occupancy, one recorder per
+        #: Dependence Table (slice): how many tasks sat queued in
+        #: Kick-Off Lists over time — the live-hazard signal the
+        #: admission-throttle study reads (bookkeeping only, no events).
+        tables = self.dep_shards if self.sharded else [self.dep_table]
+        self.kickoff_waiters: List[LevelStat] = []
+        for table in tables:
+            stat = LevelStat(sim)
+            table.waiter_stat = stat
+            self.kickoff_waiters.append(stat)
 
         # ---- memory ---------------------------------------------------------------
         self.memory = MemorySystem(sim, config)
@@ -337,8 +369,11 @@ class Fabric:
             #: TD request lines into the Send TDs block (core, tp_head) pairs.
             self.td_request: Fifo = Fifo(sim, config.workers * depth, "td-requests")
             #: Task-finished notification lines into Handle Finished (core ids).
+            #: Occupancy-tracked: it is the single engine's resolve-stage
+            #: intake queue (notifications waiting for Handle Finished).
             self.finished_notify: Fifo = Fifo(
-                sim, config.workers * depth, "finished-notify"
+                sim, config.workers * depth, "finished-notify",
+                track_occupancy=True,
             )
         else:
             # Request/notification lines are point-to-point wires; in the
@@ -400,8 +435,12 @@ class Fabric:
         self.check_inbox: List[Fifo] = [
             Fifo(sim, depth, f"s{s}-check-inbox") for s in range(n)
         ]
+        # Finish inboxes are occupancy-tracked: they are the sharded
+        # resolve stage's intake queues, and their time-weighted depth is
+        # the finish-engine queueing component of the resolve hop.
         self.finish_inbox: List[Fifo] = [
-            Fifo(sim, depth, f"s{s}-finish-inbox") for s in range(n)
+            Fifo(sim, depth, f"s{s}-finish-inbox", track_occupancy=True)
+            for s in range(n)
         ]
         # Gather channels are sized for every in-flight parameter so a
         # reply can always be posted (no retirement deadlock).

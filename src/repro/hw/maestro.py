@@ -18,6 +18,11 @@ Four concurrently running hardware blocks, each a simulation process:
   ID from CiFinTasks, walks its parameter list updating the Dependence
   Table, kicks off released waiters (decrementing their Dependence
   Counters), frees the Task Pool chain and returns the worker-core ID.
+  Since the staged-resolve refactor the body runs on the shared resolve
+  blocks of :mod:`repro.hw.resolve` (notify intake → dependence-table
+  update → waiter kick), so finish-notification coalescing and
+  speculative kick-off apply to this engine exactly as to the sharded
+  one; with both knobs off the loop is cycle-for-cycle the paper's.
 
 The *Get TDs* block of the paper is the `tds_buffer` FIFO itself — its job
 is decoupling the master from Write TP, which a buffered channel models
@@ -41,6 +46,7 @@ from __future__ import annotations
 from ..scoreboard import Scoreboard
 from ..sim import BusyTracker
 from .fabric import Fabric
+from .resolve import notify_drain_block, table_update_block, waiter_kick_block
 
 __all__ = [
     "TaskMaestro",
@@ -207,6 +213,11 @@ class TaskMaestro:
         #: is "busy" from popping its trigger FIFO until it hands the item
         #: on — i.e. the time it could not accept further work.
         self.busy = {name: BusyTracker(fabric.sim) for name in self.BLOCKS}
+        if fabric.resolve.speculative:
+            # The kick unit is a Maestro block too; its busy tracker exists
+            # only when speculative kick-off is on, so the knobs-off stats
+            # keys are unchanged.
+            self.busy["kickoff"] = BusyTracker(fabric.sim)
 
     def utilization(self, span: int) -> dict:
         """Fraction of ``span`` each Maestro block spent occupied."""
@@ -219,6 +230,16 @@ class TaskMaestro:
         sim.process(self._schedule(), name="maestro.schedule")
         sim.process(self._send_tds(), name="maestro.send-tds")
         sim.process(self._handle_finished(), name="maestro.handle-finished")
+        if self.fabric.resolve.speculative:
+            # Speculative kick-off: the kick unit process exists only when
+            # the knob is on, so the knobs-off machine's event stream is
+            # untouched (same gating as the sharded prefetch engines).
+            sim.process(
+                self.fabric.resolve.kick_unit(
+                    0, self.busy["kickoff"], self._kick_one
+                ),
+                name="maestro.kickoff",
+            )
 
     # ---- Write TP ---------------------------------------------------------------
 
@@ -283,48 +304,101 @@ class TaskMaestro:
     def _send_tds(self):
         return send_tds_block(self.fabric, self.fabric.td_request, self.busy["send_tds"])
 
-    # ---- Handle Finished --------------------------------------------------------------------
+    # ---- Handle Finished (the staged resolve pipeline) ------------------------------
 
-    def _handle_finished(self):
+    def _kick_one(self, releaser_tid: int, waiter_head: int):
+        """Stage-3 kick body: DC decrement plus the ready-list hand-off.
+
+        Shared by the inline path and the speculative kick unit, so the
+        kick timing cannot drift between the two modes.
+        """
         fab = self.fabric
         sim = fab.sim
+        became_ready = yield from waiter_kick_block(fab, waiter_head)
+        if became_ready:
+            waiter_task = fab.task_of(waiter_head)
+            record = self.scoreboard.records[waiter_task.tid]
+            record.ready = sim.now
+            record.released_by = releaser_tid
+            yield fab.global_ready.put(waiter_head)
+
+    def _handle_finished(self):
+        """The resolve pipeline: notify intake → table update → kick → retire.
+
+        With the resolve knobs off every batch is a single notification
+        and the loop is cycle-for-cycle the paper's Handle Finished;
+        coalescing drains several queued notifications per activation
+        (merging same-row Dependence Table updates), and speculative
+        kick-off hands stage 3 to the kick unit so it overlaps the next
+        notification's table update.
+        """
+        fab = self.fabric
+        sim = fab.sim
+        resolve = fab.resolve
+        busy = self.busy["handle_finished"]
         while True:
-            core = yield fab.finished_notify.get()
-            self.busy["handle_finished"].begin()
+            first = yield fab.finished_notify.get()
+            busy.begin()
             yield sim.timeout(fab.cycle)  # observe + acknowledge the 1-bit line
-            head = yield fab.fin_fifo[core].get()
-            task = fab.task_of(head)
-            # Read the finished task's input/output list from the Task Pool.
-            yield fab.tp_port.acquire()
-            params, accesses = fab.task_pool.read_params(head)
-            yield sim.timeout(accesses * fab.on_chip)
-            fab.tp_port.release()
-            # Update the Dependence Table per parameter; collect kick-offs.
-            granted: list[int] = []
-            for param in params:
-                yield fab.dt_port.acquire()
-                kicked, accesses = fab.dep_table.finish_param(
-                    head, param.addr, param.mode.reads, param.mode.writes
-                )
-                yield sim.timeout(accesses * fab.on_chip)
-                fab.dt_port.release()
-                granted.extend(kicked)
-                fab.dt_freed.set()
-            # Kick off pending tasks whose Dependence Counter reached zero.
-            for waiter_head in granted:
+            cores = yield from notify_drain_block(fab, resolve, first)
+            # Read each finished task's input/output list from the Task Pool.
+            finished = []  # (core, head, task) in notification order
+            updates = []  # (releaser head, param) in notification order
+            for core in cores:
+                head = yield fab.fin_fifo[core].get()
+                task = fab.task_of(head)
                 yield fab.tp_port.acquire()
-                became_ready = fab.task_pool.resolve_dependence(waiter_head)
-                yield sim.timeout(fab.on_chip)
+                params, accesses = fab.task_pool.read_params(head)
+                yield sim.timeout(accesses * fab.on_chip)
                 fab.tp_port.release()
-                if became_ready:
-                    waiter_task = fab.task_of(waiter_head)
-                    record = self.scoreboard.records[waiter_task.tid]
-                    record.ready = sim.now
-                    record.released_by = task.tid
-                    yield fab.global_ready.put(waiter_head)
-            # Retire: free the Task Pool chain, recycle index and core slot.
-            yield from retire_free_block(fab, head)
-            self.busy["handle_finished"].end()
-            yield fab.worker_ids.put(core)
-            self.retired += 1
-            self.scoreboard.note_completed(task.tid, sim.now)
+                finished.append((core, head, task))
+                updates.extend((head, param) for param in params)
+            # Update the Dependence Table (same-row updates merged) and
+            # kick off pending tasks whose Dependence Counter reached zero.
+            if resolve.speculative:
+                # Grants go to the kick unit the moment they are computed,
+                # overlapping each row's commit latency and the remaining
+                # updates of the batch.
+                def post_kicks(grants):
+                    for releaser_head, waiter_head in grants:
+                        yield resolve.post_kick(
+                            0, fab.task_of(releaser_head).tid, waiter_head
+                        )
+
+                yield from table_update_block(
+                    fab, fab.dep_table, fab.dt_port, fab.dt_freed, updates,
+                    resolve, on_grants=post_kicks, grants_early=True,
+                )
+            elif resolve.coalesce_limit > 1:
+                # Coalesced but inline: kick per committed row group, the
+                # same early-kick model the sharded engine uses — a batch
+                # never delays an early grant behind an unrelated row.
+                def kick_grants(grants):
+                    for releaser_head, waiter_head in grants:
+                        yield from self._kick_one(
+                            fab.task_of(releaser_head).tid, waiter_head
+                        )
+
+                yield from table_update_block(
+                    fab, fab.dep_table, fab.dt_port, fab.dt_freed, updates,
+                    resolve, on_grants=kick_grants,
+                )
+            else:
+                # Paper-exact serial loop: all updates, then all kicks —
+                # the recorded-golden event order of the seed machine.
+                granted = yield from table_update_block(
+                    fab, fab.dep_table, fab.dt_port, fab.dt_freed, updates,
+                    resolve,
+                )
+                for releaser_head, waiter_head in granted:
+                    yield from self._kick_one(
+                        fab.task_of(releaser_head).tid, waiter_head
+                    )
+            # Retire: free the Task Pool chains, recycle indices and cores.
+            for core, head, task in finished:
+                yield from retire_free_block(fab, head)
+            busy.end()
+            for core, head, task in finished:
+                yield fab.worker_ids.put(core)
+                self.retired += 1
+                self.scoreboard.note_completed(task.tid, sim.now)

@@ -47,14 +47,22 @@ Protocol
   parameter to the owning shards.  At depth 1 the same process also
   gathers the replies and frees the chain inline — cycle-for-cycle the
   pre-pipelining serialized loop (differential-tested).
-* **Finish engine** (per shard) — services ticket-tagged finish messages:
-  updates its table slice, kicks off released waiters (forwarding ready
-  tasks to their home shards) and posts the ticket back to the retiring
-  shard's reply inbox.  With the fast-dispatch subsystem on
-  (:mod:`repro.hw.dispatch`) it additionally posts non-blocking prefetch
-  notices for near-ready waiters and may dispatch a became-ready waiter
-  straight to an idle local worker (the kick-off fast path, with an
-  ownership notice to the home shard).
+* **Finish engine** (per shard) — services ticket-tagged finish messages
+  on the shared staged resolve blocks (:mod:`repro.hw.resolve`): intake
+  (with finish-notification coalescing on, a batch of already-arrived
+  messages per activation), dependence-table update (same-row updates
+  merged into one row access), waiter kick (inline, or posted to the
+  shard's kick unit under speculative kick-off) — then posts each ticket
+  back to its retiring shard's reply inbox.  With the fast-dispatch
+  subsystem on (:mod:`repro.hw.dispatch`) the kick additionally posts
+  non-blocking prefetch notices for near-ready waiters and may dispatch
+  a became-ready waiter straight to an idle local worker (the kick-off
+  fast path, with an ownership notice to the home shard).
+* **Kick unit** (per shard, only when ``speculative_kickoff`` is on) —
+  drains the shard's kick queue in FIFO order, overlapping each
+  became-ready waiter's kick (Dependence Counter decrement, fast-path
+  dispatch or forward to the home ready list) with the finish engine's
+  table-update commit of the *next* notification.
 * **TD prefetch engine** (per shard, only when ``td_cache_entries`` > 0)
   — drains near-ready notices, reads the waiter's TD chain from the Task
   Pool (arbitrating for the shared TP ports) and stages it in the
@@ -71,9 +79,10 @@ Message formats (ticket fields included) are tabulated in
 :mod:`repro.hw.fabric`; the per-shard block names this module exposes in
 ``maestro_utilization`` stats are ``s{N}.check``, ``s{N}.gather``,
 ``s{N}.schedule``, ``s{N}.send_tds``, ``s{N}.finish``, ``s{N}.retire``
-(issue half), ``s{N}.retire_done`` (completion half; idle at depth 1)
-and ``s{N}.prefetch`` (only when the TD cache is wired), plus the
-central ``write_tp`` and ``scatter``.
+(issue half), ``s{N}.retire_done`` (completion half; idle at depth 1),
+``s{N}.prefetch`` (only when the TD cache is wired) and ``s{N}.kick``
+(only when speculative kick-off is on), plus the central ``write_tp``
+and ``scatter``.
 
 Finish-path ordering invariant (load-bearing for pipelined retirement):
 each shard's retire front-end is the *only* injector of its finish
@@ -100,6 +109,7 @@ from ..scoreboard import Scoreboard
 from ..sim import BusyTracker
 from .fabric import Fabric, RetireSlot
 from .maestro import retire_free_block, send_tds_block, write_tp_block
+from .resolve import finish_intake_block, table_update_block, waiter_kick_block
 
 __all__ = ["ShardedMaestro"]
 
@@ -148,6 +158,10 @@ class ShardedMaestro:
             # subsystem-off stats keys are unchanged.
             for s in range(self.n_shards):
                 self.busy[f"s{s}.prefetch"] = BusyTracker(sim)
+        if fabric.resolve.speculative:
+            # Same reasoning for the speculative kick units.
+            for s in range(self.n_shards):
+                self.busy[f"s{s}.kick"] = BusyTracker(sim)
 
     def utilization(self, span: int) -> dict:
         """Fraction of ``span`` each Maestro block spent occupied."""
@@ -181,6 +195,17 @@ class ShardedMaestro:
                         s, self.busy[f"s{s}.prefetch"], self.scoreboard
                     ),
                     name=f"smaestro.s{s}.prefetch",
+                )
+            if self.fabric.resolve.speculative:
+                # The kick unit exists only under speculative kick-off, so
+                # the knobs-off machine's event stream is untouched.
+                sim.process(
+                    self.fabric.resolve.kick_unit(
+                        s,
+                        self.busy[f"s{s}.kick"],
+                        lambda tid, waiter, s=s: self._kick_waiter(s, tid, waiter),
+                    ),
+                    name=f"smaestro.s{s}.kick",
                 )
 
     # ---- receive helper --------------------------------------------------------
@@ -444,82 +469,113 @@ class ShardedMaestro:
             self.retired += 1
             self.scoreboard.note_completed(task.tid, sim.now)
 
-    # ---- Finish engine (per shard: table update + kick-offs) -----------------------
+    # ---- Finish engine (per shard: the staged resolve pipeline) --------------------
+
+    def _kick_waiter(self, s: int, releaser_tid: int, waiter_head: int):
+        """Stage-3 kick body: DC decrement plus the became-ready hand-off.
+
+        Shared by the inline path and the speculative kick unit, so the
+        kick timing (and the fast-dispatch hooks riding on it) cannot
+        drift between the two modes.
+        """
+        fab = self.fabric
+        sim = fab.sim
+        dispatch = fab.dispatch
+        became_ready = yield from waiter_kick_block(fab, waiter_head)
+        if not became_ready:
+            if dispatch is not None and dispatch.want_prefetch(waiter_head):
+                # Near-ready: post the non-blocking prefetch notice to the
+                # waiter's home shard so its TD is staged while the last
+                # dependence resolves.
+                dispatch.request_prefetch(s, fab.home_of[waiter_head], waiter_head)
+            return
+        home = fab.home_of[waiter_head]
+        waiter_task = fab.task_of(waiter_head)
+        record = self.scoreboard.records[waiter_task.tid]
+        record.ready = sim.now
+        record.released_by = releaser_tid
+        if dispatch is not None and dispatch.fast_path:
+            # Kick-off fast path: hand the became-ready waiter to an idle
+            # *local* worker, skipping the home-shard forward hop and the
+            # scheduler round trip.  Claiming the core id from the pool
+            # reserves its CiRdyTasks slot, exactly as the scheduler's
+            # claim does.
+            core = fab.worker_pools[s].try_get()
+            if core is not None:
+                if home != s:
+                    # Non-blocking ownership notice: the home shard learns
+                    # dispatch moved here; retirement bookkeeping (keyed
+                    # off the worker's shard) is unchanged.  The notice
+                    # carries any staged descriptor to this shard's
+                    # TD-link bank.
+                    fab.icn.post(s, home)
+                    fab.home_of[waiter_head] = s
+                    if dispatch.cache is not None:
+                        dispatch.cache.move(waiter_head, s)
+                dispatch.note_fast_dispatch(remote=home != s)
+                yield sim.timeout(2 * fab.cycle)  # pop pool, push rdy
+                record.dispatched = sim.now
+                record.core = core
+                yield fab.rdy_fifo[core].put(waiter_head)
+                return
+        if home != s:
+            # The ready task id travels to its home shard.
+            yield sim.timeout(fab.icn.charge_hop(s, home))
+            fab.forwarded_ready.add(waiter_head)
+        yield fab.shard_ready[home].put(waiter_head)
+        yield fab.ready_tickets.put(home)
 
     def _finish_engine(self, s: int):
         # Per-address ordering on the finish path: messages for one address
         # from one retiring shard arrive in finish order (serial scatter +
-        # in-order delivery per source) and this engine applies them in
-        # arrival order — the rule that keeps pipelined retirement safe.
+        # in-order delivery per source), the intake drains batches in
+        # arrival order, and the table-update stage applies same-row
+        # updates in that order within one merged access — the rule that
+        # keeps pipelined retirement safe under coalescing (ARCHITECTURE.md
+        # invariants 3 and 5).
         fab = self.fabric
         sim = fab.sim
         table = fab.dep_shards[s]
         busy = self.busy[f"s{s}.finish"]
-        dispatch = fab.dispatch
-        fast_path = dispatch is not None and dispatch.fast_path
+        resolve = fab.resolve
         while True:
-            head, src, ticket, param = yield from self._recv(fab.finish_inbox[s])
+            first = yield from self._recv(fab.finish_inbox[s])
             busy.begin()
-            yield fab.dt_ports[s].acquire()
-            kicked, accesses = table.finish_param(
-                head, param.addr, param.mode.reads, param.mode.writes
+            msgs = yield from finish_intake_block(
+                fab, fab.finish_inbox[s], resolve, first
             )
-            yield sim.timeout(accesses * fab.on_chip)
-            fab.dt_ports[s].release()
-            fab.dt_freed_shard[s].set()
-            for waiter_head in kicked:
-                yield fab.tp_port.acquire()
-                became_ready = fab.task_pool.resolve_dependence(waiter_head)
-                yield sim.timeout(fab.on_chip)
-                fab.tp_port.release()
-                if not became_ready:
-                    if dispatch is not None and dispatch.want_prefetch(waiter_head):
-                        # Near-ready: post the non-blocking prefetch notice
-                        # to the waiter's home shard so its TD is staged
-                        # while the last dependence resolves.
-                        dispatch.request_prefetch(
-                            s, fab.home_of[waiter_head], waiter_head
-                        )
-                    continue
-                home = fab.home_of[waiter_head]
-                waiter_task = fab.task_of(waiter_head)
-                record = self.scoreboard.records[waiter_task.tid]
-                record.ready = sim.now
-                record.released_by = fab.task_of(head).tid
-                if fast_path:
-                    # Kick-off fast path: hand the became-ready waiter to
-                    # an idle *local* worker, skipping the home-shard
-                    # forward hop and the scheduler round trip.  Claiming
-                    # the core id from the pool reserves its CiRdyTasks
-                    # slot, exactly as the scheduler's claim does.
-                    core = fab.worker_pools[s].try_get()
-                    if core is not None:
-                        if home != s:
-                            # Non-blocking ownership notice: the home
-                            # shard learns dispatch moved here; retirement
-                            # bookkeeping (keyed off the worker's shard)
-                            # is unchanged.  The notice carries any staged
-                            # descriptor to this shard's TD-link bank.
-                            fab.icn.post(s, home)
-                            fab.home_of[waiter_head] = s
-                            if dispatch.cache is not None:
-                                dispatch.cache.move(waiter_head, s)
-                        dispatch.note_fast_dispatch(remote=home != s)
-                        yield sim.timeout(2 * fab.cycle)  # pop pool, push rdy
-                        record.dispatched = sim.now
-                        record.core = core
-                        yield fab.rdy_fifo[core].put(waiter_head)
-                        continue
-                if home != s:
-                    # The ready task id travels to its home shard.
-                    yield sim.timeout(fab.icn.charge_hop(s, home))
-                    fab.forwarded_ready.add(waiter_head)
-                yield fab.shard_ready[home].put(waiter_head)
-                yield fab.ready_tickets.put(home)
+
+            def kick_grants(grants, s=s):
+                # Stage 3, invoked per committed row group so an early
+                # grant is never delayed behind an unrelated row.  Under
+                # speculative kick-off the kicks go to the shard's kick
+                # unit (overlapping the next row's update commit); the
+                # releaser tid is captured now — its task may retire
+                # before the kick unit runs.
+                for releaser_head, waiter_head in grants:
+                    releaser_tid = fab.task_of(releaser_head).tid
+                    if resolve.speculative:
+                        yield resolve.post_kick(s, releaser_tid, waiter_head)
+                    else:
+                        yield from self._kick_waiter(s, releaser_tid, waiter_head)
+
+            yield from table_update_block(
+                fab,
+                table,
+                fab.dt_ports[s],
+                fab.dt_freed_shard[s],
+                [(head, param) for head, _, _, param in msgs],
+                resolve,
+                on_grants=kick_grants,
+                # The decoupled kick unit may take grants the moment they
+                # are computed, overlapping the row's commit latency.
+                grants_early=resolve.speculative,
+            )
             busy.end()
             # The reply is the ticket: the retiring shard's gather table
             # maps it back to the task, never relying on arrival order.
-            yield fab.retire_inbox[src].put(fab.icn.message(s, src, ticket))
+            for head, src, ticket, param in msgs:
+                yield fab.retire_inbox[src].put(fab.icn.message(s, src, ticket))
 
     # ---- aggregate statistics ------------------------------------------------------
 

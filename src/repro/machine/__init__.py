@@ -6,11 +6,13 @@ from .results import RunResult, Scoreboard, TaskRecord
 from .sweep import (
     DispatchLatencyReport,
     MasterScalingReport,
+    ResolveScalingReport,
     RetireScalingReport,
     ShardScalingReport,
     SpeedupCurve,
     dispatch_latency_sweep,
     master_scaling_sweep,
+    resolve_scaling_sweep,
     retire_scaling_sweep,
     shard_scaling_sweep,
     speedup_curve,
@@ -34,6 +36,8 @@ __all__ = [
     "retire_scaling_sweep",
     "DispatchLatencyReport",
     "dispatch_latency_sweep",
+    "ResolveScalingReport",
+    "resolve_scaling_sweep",
     "BottleneckReport",
     "analyze_bottleneck",
 ]

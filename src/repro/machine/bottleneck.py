@@ -26,8 +26,11 @@ The attribution compares stage occupancies over the run:
   found) spends most of the makespan in per-hop *machinery* latency —
   resolve, forward, TD transfer, start — rather than in task execution.
   The verdict carries chain depth × mean hop time and the dominant hop
-  component, naming what the fast-dispatch subsystem
-  (``td_cache_entries``, ``kickoff_fast_path``) would cut;
+  component, naming what would cut it: the fast-dispatch subsystem
+  (``td_cache_entries``, ``kickoff_fast_path``) for the td_transfer and
+  forward flavors, the staged resolve pipeline
+  (``finish_coalesce_limit``, ``speculative_kickoff``) for the resolve
+  flavor;
 * **application** — none of the above: the dependency structure itself
   starves the machine (long serial chains of long tasks, or simply not
   enough parallelism for the core count).
@@ -185,4 +188,13 @@ def _latency_or_application(result: RunResult) -> tuple[str, Optional[str]]:
             f"; dominant hop component: {component} "
             f"({dispatch.get('dominant_chain_component_ns', 0.0):.0f} ns)"
         )
+        if component == "resolve":
+            # Resolve-flavored latency: name the lever.  A chain bound by
+            # the finish-notify -> table-update -> kick path is what the
+            # staged resolve pipeline cuts, the same way the td_transfer/
+            # forward flavors point at the fast-dispatch subsystem.
+            detail += (
+                " — the resolve pipeline knobs (finish_coalesce_limit, "
+                "speculative_kickoff) target this component"
+            )
     return "latency", detail

@@ -107,6 +107,47 @@ class NexusMachine:
             ready_stat = (
                 fabric.global_ready.stat.mean() if fabric.global_ready.stat else 0.0
             )
+        # Kick-off waiter-list occupancy: time-weighted queued-hazard count
+        # per Dependence Table (slice), feeding the admission-throttle
+        # study alongside the existing max_kickoff_waiters high-water mark.
+        # ``mean_total`` sums the per-slice means (levels add, so it is
+        # the machine-wide mean queued-waiter count and can exceed any
+        # single slice's high water); ``max_per_shard`` is the largest
+        # level one slice ever held.
+        dep_stats["kickoff_waiters"] = {
+            "mean_total": round(
+                sum(st.mean(span) for st in fabric.kickoff_waiters), 4
+            ),
+            "max_per_shard": max(
+                st.max_level for st in fabric.kickoff_waiters
+            ),
+            "per_shard_mean": [
+                round(st.mean(span), 4) for st in fabric.kickoff_waiters
+            ],
+        }
+        # Staged-resolve pipeline: coalescing counters plus the resolve-
+        # stage queue depths (time-weighted LevelStats of the intake
+        # queues and, under speculative kick-off, the kick queues).
+        resolve_stats = fabric.resolve.stats()
+        if fabric.sharded:
+            resolve_stats["finish_inbox_mean"] = [
+                round(f.stat.mean(span), 4) for f in fabric.finish_inbox
+            ]
+            resolve_stats["finish_inbox_max"] = [
+                f.stat.max_level for f in fabric.finish_inbox
+            ]
+        else:
+            resolve_stats["notify_queue_mean"] = round(
+                fabric.finished_notify.stat.mean(span), 4
+            )
+            resolve_stats["notify_queue_max"] = fabric.finished_notify.stat.max_level
+        if fabric.resolve.kick_queues:
+            resolve_stats["kick_queue_mean"] = [
+                round(q.stat.mean(span), 4) for q in fabric.resolve.kick_queues
+            ]
+            resolve_stats["kick_queue_max"] = [
+                q.stat.max_level for q in fabric.resolve.kick_queues
+            ]
         stats = {
             "maestro_utilization": maestro.utilization(span),
             "worker_busy_fraction": [
@@ -130,6 +171,9 @@ class NexusMachine:
             # forward / TD-transfer / start), computed from the scoreboard
             # after the run — it never perturbs the simulation.
             "dispatch": hop_latency_stats(scoreboard.records, span),
+            # Staged-resolve pipeline: coalescing rate, batch shape and
+            # resolve-stage queue depths.
+            "resolve": resolve_stats,
         }
         if fabric.dispatch is not None:
             stats["dispatch"]["fast_dispatch"] = fabric.dispatch.stats()
@@ -200,6 +244,9 @@ class NexusMachine:
                 "task_pool_ports": cfg.tp_ports,
                 "td_cache_entries": cfg.td_cache_entries,
                 "kickoff_fast_path": cfg.kickoff_fast_path,
+                "finish_coalesce_limit": cfg.finish_coalesce_limit,
+                "finish_coalesce_window": cfg.finish_coalesce_window,
+                "speculative_kickoff": cfg.speculative_kickoff,
             },
         )
 

@@ -27,6 +27,8 @@ __all__ = [
     "retire_scaling_sweep",
     "DispatchLatencyReport",
     "dispatch_latency_sweep",
+    "ResolveScalingReport",
+    "resolve_scaling_sweep",
 ]
 
 
@@ -517,6 +519,133 @@ def dispatch_latency_sweep(
         trace_name=trace.name,
         workers=base.workers,
         shards=base.maestro_shards,
+        points=points,
+        runs=runs,
+    )
+
+
+@dataclass
+class ResolveScalingReport:
+    """Makespan + resolve-hop breakdown over the staged-resolve grid.
+
+    Answers the question PR 4's dispatch sweep raised: with the dispatch
+    path cut, the remaining hop component is *resolve* — finish notify,
+    finish-engine queueing and the waiter kick — so the lever is the
+    staged resolve pipeline.  Each swept point toggles the two resolve
+    knobs (finish-notification coalescing, speculative kick-off); the
+    rows carry the critical-chain hop decomposition plus the coalescing
+    counters (batch shape, row-merge rate, speculative kicks) so the
+    report shows *how* each knob earned its cut.  Speedups are measured
+    against the both-off run when present, else the first point.
+    """
+
+    trace_name: str
+    workers: int
+    shards: int
+    window: int  #: coalesce window (ps) applied at the coalesce-on points
+    points: List[tuple[int, bool]]  # (finish_coalesce_limit, speculative)
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def baseline_point(self) -> tuple[int, bool]:
+        return (1, False) if (1, False) in self.points else self.points[0]
+
+    @property
+    def speedups(self) -> List[float]:
+        base = self.runs[self.points.index(self.baseline_point)]
+        return [base.makespan / r.makespan for r in self.runs]
+
+    def at(self, coalesce: int, speculative: bool) -> RunResult:
+        return self.runs[self.points.index((coalesce, speculative))]
+
+    def rows(self) -> List[dict]:
+        """One report row per swept point (used by the CLI and the bench)."""
+        out = []
+        for (coalesce, speculative), run, speedup in zip(
+            self.points, self.runs, self.speedups
+        ):
+            dispatch = run.stats.get("dispatch", {})
+            resolve = run.stats.get("resolve", {})
+            util = run.stats.get("maestro_utilization", {})
+            out.append(
+                {
+                    "coalesce": coalesce,
+                    "speculative": speculative,
+                    "window_ps": resolve.get("coalesce_window_ps", 0),
+                    "makespan_ps": run.makespan,
+                    "speedup_vs_baseline": round(speedup, 4),
+                    "chain_depth": dispatch.get("chain_depth", 0),
+                    "chain_fraction": dispatch.get("chain_fraction", 0.0),
+                    "chain_hop_ns": dispatch.get("chain_hop_ns", {}),
+                    "dominant_chain_component": dispatch.get(
+                        "dominant_chain_component"
+                    ),
+                    "mean_batch": round(resolve.get("mean_batch", 0.0), 4),
+                    "coalesce_rate": round(resolve.get("coalesce_rate", 0.0), 4),
+                    "row_merges": resolve.get("row_merges", 0),
+                    "speculative_kicks": resolve.get("speculative_kicks", 0),
+                    "busiest_maestro_block": (
+                        max(util, key=util.get) if util else None
+                    ),
+                }
+            )
+        return out
+
+    def to_json_dict(self) -> dict:
+        return {
+            "trace": self.trace_name,
+            "workers": self.workers,
+            "shards": self.shards,
+            "window_ps": self.window,
+            "baseline": {
+                "coalesce": self.baseline_point[0],
+                "speculative": self.baseline_point[1],
+            },
+            "rows": self.rows(),
+        }
+
+
+def resolve_scaling_sweep(
+    trace: TaskTrace,
+    config: Optional[SystemConfig] = None,
+    coalesce: int = 8,
+    window: int = 0,
+    points: Optional[Sequence[tuple[int, bool]]] = None,
+) -> ResolveScalingReport:
+    """Run ``trace`` over the staged-resolve feature grid.
+
+    The default grid is the four-point ablation — (coalescing off,
+    speculative off) baseline, each knob alone, both together — with a
+    batch limit of ``coalesce`` (and ``window`` picoseconds of straggler
+    wait) at the coalescing-on points.  Unlike the retire and dispatch
+    sweeps this one runs on *either* engine: the staged resolve pipeline
+    is shared, so a single-Maestro config sweeps its Handle Finished
+    loop the same way.  Everything but the two resolve knobs is held
+    fixed, so the curve isolates the pipeline.
+    """
+    base = config or SystemConfig()
+    if coalesce < 2:
+        raise ValueError("coalesce must be >= 2 (the coalescing-on batch limit)")
+    if points is None:
+        points = [(1, False), (coalesce, False), (1, True), (coalesce, True)]
+    points = list(points)
+    if not points:
+        raise ValueError("need at least one (coalesce, speculative) point")
+    runs = [
+        NexusMachine(
+            base.with_(
+                finish_coalesce_limit=c,
+                finish_coalesce_window=window if c > 1 else 0,
+                speculative_kickoff=s,
+            )
+        ).run(trace)
+        for c, s in points
+    ]
+    return ResolveScalingReport(
+        trace_name=trace.name,
+        workers=base.workers,
+        shards=base.maestro_shards,
+        window=window,
         points=points,
         runs=runs,
     )

@@ -15,7 +15,7 @@ from collections import deque
 from typing import Any, Deque, Optional
 
 from .core import Process, Simulator, Waitable
-from .stats import OccupancyStat
+from .stats import LevelStat
 
 __all__ = ["Fifo", "Put", "Get"]
 
@@ -75,7 +75,9 @@ class Fifo:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Process] = deque()
         self._putters: Deque[tuple[Process, Any]] = deque()
-        self.stat = OccupancyStat(sim) if track_occupancy else None
+        # LevelStat (a histogram-keeping OccupancyStat) so tracked FIFOs
+        # can answer both "mean occupancy" and "time at each depth".
+        self.stat = LevelStat(sim) if track_occupancy else None
 
     # -- public API ---------------------------------------------------------------
 
@@ -123,6 +125,15 @@ class Fifo:
             self._sim._schedule(self._sim.now, putter._resume, None)
             return pending
         return None
+
+    def peek(self) -> Any:
+        """The head item without removing it, or ``None`` when empty.
+
+        Used by batch-draining arbiters (the coalescing resolve intake)
+        that must inspect a stamped message's arrival time before
+        deciding to pop it.  No events, no statistics — a wire tap.
+        """
+        return self._items[0] if self._items else None
 
     def __len__(self) -> int:
         return len(self._items)

@@ -32,6 +32,9 @@ SCALING_KNOBS = [
     "td_prefetch_depth",
     "kickoff_fast_path",
     "locality_stealing",
+    "finish_coalesce_limit",
+    "finish_coalesce_window",
+    "speculative_kickoff",
 ]
 
 
@@ -73,7 +76,8 @@ def test_documented_defaults_match_config():
     text = _doc_text()
     for knob in ("maestro_shards", "master_cores", "submission_batch",
                  "retire_pipeline_depth", "shard_inbox_entries",
-                 "td_cache_entries", "td_prefetch_depth"):
+                 "td_cache_entries", "td_prefetch_depth",
+                 "finish_coalesce_limit", "finish_coalesce_window"):
         row = re.search(
             rf"^\|\s*`{knob}`\s*\|\s*([^|]+)\|", text, flags=re.MULTILINE
         )
@@ -97,10 +101,11 @@ def test_entry_points_link_architecture_md():
     assert "ARCHITECTURE.md" in (REPO / "ROADMAP.md").read_text()
 
 
-def test_architecture_names_the_four_invariants():
+def test_architecture_names_the_five_invariants():
     text = _doc_text().lower()
     for phrase in ("merge-unit ordering", "check-scatter per-address",
-                   "finish-order per-address", "coherence-by-retirement"):
+                   "finish-order per-address", "coherence-by-retirement",
+                   "coalesced-resolve ordering"):
         assert phrase in text, f"invariant {phrase!r} missing"
 
 

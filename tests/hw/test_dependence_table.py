@@ -295,3 +295,112 @@ class TestValidation:
             DependenceTable(0, 8)
         with pytest.raises(ValueError):
             DependenceTable(8, 1)
+
+
+class TestCoalescedAccessDiscounts:
+    """The staged-resolve discounts: latched rows and pipelined probes."""
+
+    def test_row_latched_skips_probe_cost_and_stats(self):
+        t = dt()
+        check(t, 0, A, "out")
+        check(t, 1, A, "out")  # queued writer
+        lookups_before = t.total_lookups
+        granted, accesses = t.finish_param(0, A, False, True, row_latched=True)
+        assert granted == [1]
+        # The pop still pays its Kick-Off List accesses, but no probes
+        # were charged or recorded (the row sat in the update register).
+        full_t = dt()
+        check(full_t, 0, A, "out")
+        check(full_t, 1, A, "out")
+        _, full_accesses = full_t.finish_param(0, A, False, True)
+        assert accesses < full_accesses
+        assert t.total_lookups == lookups_before
+
+    def test_probe_overlapped_charges_no_probe_but_counts_it(self):
+        t = dt()
+        check(t, 0, A, "out")
+        check(t, 1, A, "out")
+        lookups_before = t.total_lookups
+        granted, accesses = t.finish_param(
+            0, A, False, True, probe_overlapped=True
+        )
+        assert granted == [1]
+        full_t = dt()
+        check(full_t, 0, A, "out")
+        check(full_t, 1, A, "out")
+        _, full_accesses = full_t.finish_param(0, A, False, True)
+        # Cheaper than the serial access by exactly the probe count...
+        assert accesses < full_accesses
+        # ...but the probe physically happened, so the hash statistics
+        # still count it (unlike the latched row).
+        assert t.total_lookups == lookups_before + 1
+
+    def test_row_latched_grants_match_serial_grants(self):
+        for flags in ({}, {"row_latched": True}, {"probe_overlapped": True}):
+            t = dt()
+            check(t, 0, A, "out")
+            for tid in (1, 2, 3):
+                check(t, tid, A, "in")
+            granted, _ = t.finish_param(0, A, False, True, **flags)
+            assert granted == [1, 2, 3]
+
+    def test_row_latched_missing_entry_is_a_protocol_error(self):
+        t = dt()
+        with pytest.raises(ProtocolError, match="latched"):
+            t.finish_param(0, A, False, True, row_latched=True)
+
+
+class TestWaiterOccupancy:
+    """The time-weighted kick-off waiter recorder (admission-throttle feed)."""
+
+    def test_queued_waiters_tracks_lists(self):
+        t = dt()
+        assert t.queued_waiters == 0
+        check(t, 0, A, "out")
+        check(t, 1, A, "out")
+        check(t, 2, A, "out")
+        check(t, 3, B, "out")
+        check(t, 4, B, "in")
+        assert t.queued_waiters == 3  # two behind A's writer, one behind B's
+        finish(t, 0, A, "out")
+        assert t.queued_waiters == 2
+
+    def test_waiter_stat_records_levels(self):
+        class Recorder:
+            def __init__(self):
+                self.levels = []
+
+            def record(self, level):
+                self.levels.append(level)
+
+        t = dt()
+        t.waiter_stat = Recorder()
+        check(t, 0, A, "out")
+        check(t, 1, A, "out")
+        check(t, 2, A, "out")
+        finish(t, 0, A, "out")
+        assert t.waiter_stat.levels == [1, 2, 1]
+
+    def test_machine_reports_kickoff_waiter_levels(self):
+        from repro.config import SystemConfig
+        from repro.machine import run_trace
+        from repro.traces import random_trace
+
+        trace = random_trace(
+            120, n_addresses=16, max_params=4, seed=7,
+            mean_exec=4000, mean_memory=0,
+        )
+        for shards in (1, 2):
+            result = run_trace(
+                trace,
+                SystemConfig(
+                    workers=4, maestro_shards=shards, memory_contention=False
+                ),
+            )
+            kw = result.stats["dep_table"]["kickoff_waiters"]
+            assert kw["max_per_shard"] >= 1
+            assert kw["mean_total"] > 0.0
+            assert len(kw["per_shard_mean"]) == shards
+            # A slice's time-weighted mean can never exceed the largest
+            # level any slice held (the machine total can).
+            assert all(m <= kw["max_per_shard"] for m in kw["per_shard_mean"])

@@ -159,6 +159,91 @@ class TestLatencyVerdict:
         assert rep.verdict != "latency"
 
 
+class TestVerdictPrecedence:
+    """Verdict precedence in the post-PR 4 regime: a machine that is
+    simultaneously >= 50% master-busy (but below the 90% saturation bar)
+    *and* latency-bound must be called latency-bound — partial master
+    occupancy is not a verdict, the critical chain's hop latency is."""
+
+    def _synthetic(self, master_busy_fraction, chain_fraction,
+                   dominant="resolve"):
+        from repro.machine.results import RunResult
+
+        span = 10_000_000  # 10 us
+        return RunResult(
+            trace_name="synthetic",
+            workers=16,
+            makespan=span,
+            # One master producing for `master_busy_fraction` of the run.
+            master_done=int(span * master_busy_fraction),
+            records=[],
+            stats={
+                "maestro_utilization": {"s0.finish": 0.45, "s0.check": 0.4},
+                "worker_busy_fraction": [0.3] * 16,
+                "master_stall_ps": 0,
+                "memory": {},
+                "dispatch": {
+                    "chain_depth": 200,
+                    "chain_fraction": chain_fraction,
+                    "chain_hop_ns": {"total": 45.0},
+                    "dominant_chain_component": dominant,
+                    "dominant_chain_component_ns": 30.0,
+                },
+            },
+            config_notes={"master_cores": 1},
+        )
+
+    def test_half_busy_master_plus_latency_bound_is_latency(self):
+        rep = analyze_bottleneck(self._synthetic(0.6, 0.8))
+        assert 0.5 <= rep.occupancy["master"] < 0.9
+        assert rep.verdict == "latency"
+        assert rep.detail is not None and "critical chain" in rep.detail
+
+    def test_saturated_master_still_wins(self):
+        rep = analyze_bottleneck(self._synthetic(0.95, 0.8))
+        assert rep.verdict == "master"
+
+    def test_resolve_flavored_latency_detail_names_the_knobs(self):
+        """The refined resolve-flavored verdict: when the dominant chain
+        component is the resolve hop, the detail names the resolve
+        pipeline knobs that cut it."""
+        rep = analyze_bottleneck(self._synthetic(0.6, 0.8, dominant="resolve"))
+        assert rep.verdict == "latency"
+        assert "finish_coalesce_limit" in rep.detail
+        assert "speculative_kickoff" in rep.detail
+        # Other flavors keep the old fast-dispatch-shaped detail.
+        other = analyze_bottleneck(
+            self._synthetic(0.6, 0.8, dominant="td_transfer")
+        )
+        assert other.verdict == "latency"
+        assert "finish_coalesce_limit" not in other.detail
+
+    def test_post_pr4_machine_hits_this_regime_for_real(self):
+        """The synthetic shape above is the real post-PR 4 machine: widen
+        the front-end to 6 masters on the fast-dispatch stack and the
+        hazard-dense flood is 50-90% master-busy yet latency-bound on the
+        resolve hop."""
+        from repro.config import BUS_MODEL_FITTED
+        from repro.traces import random_trace
+
+        trace = random_trace(
+            600, n_addresses=96, max_params=6, seed=7,
+            mean_exec=4000, mean_memory=0,
+        )
+        cfg = SystemConfig(
+            workers=16, maestro_shards=4, master_cores=6, submission_batch=8,
+            retire_pipeline_depth=4, td_cache_entries=64, td_prefetch_depth=2,
+            kickoff_fast_path=True, memory_contention=False,
+            bus_model=BUS_MODEL_FITTED,
+        )
+        result = run_trace(trace, cfg)
+        rep = analyze_bottleneck(result, cfg)
+        assert 0.5 <= rep.occupancy["master"] < 0.9, rep.occupancy["master"]
+        assert rep.verdict == "latency"
+        assert "dominant hop component: resolve" in rep.detail
+        assert "finish_coalesce_limit" in rep.detail
+
+
 class TestRetireVerdictShape:
     def test_retire_verdict_needs_a_retire_busiest_block(self):
         """A moderate pipe-full fraction alone must not flip the verdict

@@ -149,7 +149,7 @@ def test_verifier_catches_hardware_lies(monkeypatch):
                 entry.readers += 1
         return False, probes + 1
 
-    def forgiving_finish(self, tid, addr, reads, writes):
+    def forgiving_finish(self, tid, addr, reads, writes, **kwargs):
         entry, probes = self._lookup(addr)
         if entry is not None:
             if reads and not writes and entry.readers > 0:

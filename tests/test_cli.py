@@ -12,6 +12,41 @@ class TestInfoAndListing:
         assert "500 MHz" in out
         assert "78 KB (1024 TDs)" in out
 
+    def test_info_prints_every_config_knob(self, capsys):
+        """Knob-coverage completeness: `info` must list every SystemConfig
+        field by name, so no knob — present or future — can hide from it
+        (PR 4's dispatch knobs and the resolve knobs included).  Each
+        knob must appear as its own listing row — substring hits (e.g.
+        `dependence_table_entries` inside the `_per_shard` row) don't
+        count."""
+        import dataclasses
+        import re
+
+        from repro.config import SystemConfig
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        missing = [
+            f.name
+            for f in dataclasses.fields(SystemConfig)
+            if not re.search(rf"^\s*{re.escape(f.name)}\s*\|", out, re.MULTILINE)
+        ]
+        assert not missing, (
+            f"`python -m repro info` omits SystemConfig knobs: {missing}"
+        )
+
+    def test_info_knob_listing_shows_effective_values(self, capsys):
+        assert main(["info", "--shards", "4", "--coalesce", "8",
+                     "--spec-kickoff", "--td-cache", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "All configuration knobs" in out
+        for row in ("finish_coalesce_limit | 8", "speculative_kickoff | True",
+                    "td_cache_entries | 32", "maestro_shards | 4"):
+            name, _, value = row.partition(" | ")
+            import re
+
+            assert re.search(rf"{name}\s*\|\s*{value}", out), row
+
     def test_workloads_listing(self, capsys):
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out
@@ -269,6 +304,68 @@ class TestRetirePipelineCli:
         assert "Steal policy" in out
         assert "Task Pool ports" in out
 
+    def test_run_with_resolve_pipeline(self, capsys):
+        rc = main(["run", "random", "--tasks", "60", "--addresses", "16",
+                   "--workers", "4", "--shards", "2", "--coalesce", "4",
+                   "--spec-kickoff", "--verify", "--no-contention"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dependence check: OK" in out
+        assert "resolve pipeline: coalesce 4" in out
+        assert "speculative kicks" in out
+
+    def test_resolve_sweep_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "resolve.json"
+        rc = main(["sweep", "random", "--tasks", "80", "--addresses", "16",
+                   "--workers", "4", "--shards", "2", "--resolve",
+                   "--coalesce", "4", "--no-contention", "--json", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spec kick" in out
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["shards"] == 2
+        assert data["baseline"] == {"coalesce": 1, "speculative": False}
+        assert [(r["coalesce"], r["speculative"]) for r in data["rows"]] == [
+            (1, False), (4, False), (1, True), (4, True),
+        ]
+        assert data["rows"][0]["speedup_vs_baseline"] == 1.0
+        assert "chain_hop_ns" in data["rows"][0]
+        assert "coalesce_rate" in data["rows"][0]
+
+    def test_resolve_sweep_rejects_bad_usage(self):
+        # Needs a single sharded --shards value.
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--resolve"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--resolve",
+                  "--shards", "1"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--resolve",
+                  "--shards", "1,2"])
+        # The grid toggles speculation itself; a degenerate batch limit is
+        # meaningless.
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--resolve",
+                  "--shards", "2", "--spec-kickoff"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "random", "--tasks", "40", "--resolve",
+                  "--shards", "2", "--coalesce", "1"])
+
+    def test_run_coalesce_window_without_limit_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "random", "--tasks", "40", "--workers", "4",
+                  "--coalesce-window", "2"])
+
+    def test_info_shows_resolve_geometry(self, capsys):
+        assert main(["info", "--shards", "4", "--coalesce", "8",
+                     "--coalesce-window", "2", "--spec-kickoff"]) == 0
+        out = capsys.readouterr().out
+        assert "Finish coalesce limit" in out
+        assert "Finish coalesce window" in out
+        assert "Speculative kick-off" in out
+
     def test_malformed_retire_depth_is_usage_error(self):
         with pytest.raises(SystemExit):
             main(["sweep", "random", "--tasks", "20", "--shards", "2,4",
@@ -276,3 +373,10 @@ class TestRetirePipelineCli:
         with pytest.raises(SystemExit):
             main(["sweep", "random", "--tasks", "20", "--shards", "x",
                   "--retire-depth", "1,2"])
+
+
+class TestSweepGridConflicts:
+    def test_resolve_and_dispatch_grids_conflict(self):
+        with pytest.raises(SystemExit, match="different sweep grids"):
+            main(["sweep", "random", "--tasks", "40", "--shards", "2",
+                  "--resolve", "--dispatch"])
