@@ -12,7 +12,9 @@ Commands
              feature grid (TD cache x kick-off fast path) with
              ``--dispatch`` (fixed single --shards), or the
              staged-resolve grid (coalescing x speculative kick-off)
-             with ``--resolve`` (fixed single --shards)
+             with ``--resolve`` (fixed single --shards), or the
+             decentralized-check grid (scatter decentralization x
+             check coalescing) with ``--check`` (fixed single --shards)
 ``workloads``list the available workload generators
 ``validate`` check a saved trace file for well-formedness and graph stats
 
@@ -38,6 +40,14 @@ Examples::
     python -m repro sweep random --tasks 1200 --shards 4 --masters 8 --batch 8 \
         --retire-depth 4 --td-cache 64 --fast-path --resolve --no-contention \
         --json BENCH_resolve_latency.json
+    python -m repro run random --tasks 1200 --addresses 1024 --shards 4 \
+        --masters 8 --batch 8 --retire-depth 4 --td-cache 64 --fast-path \
+        --coalesce 8 --spec-kickoff --check-scatter --check-coalesce 8 \
+        --no-contention
+    python -m repro sweep random --tasks 1200 --addresses 1024 --shards 4 \
+        --masters 8 --batch 8 --retire-depth 4 --td-cache 64 --fast-path \
+        --coalesce 8 --spec-kickoff --check --no-contention \
+        --json BENCH_check_scaling.json
     python -m repro run cholesky --tiles 6 --workers 8 --bottleneck
 """
 
@@ -51,6 +61,7 @@ from .analysis import render_table
 from .config import SystemConfig
 from .machine import (
     analyze_bottleneck,
+    check_scaling_sweep,
     dispatch_latency_sweep,
     master_scaling_sweep,
     resolve_scaling_sweep,
@@ -194,6 +205,14 @@ def _config_from(
         overrides["finish_coalesce_window"] = args.coalesce_window * NS
     if getattr(args, "spec_kickoff", False):
         overrides["speculative_kickoff"] = True
+    if getattr(args, "check_scatter", False):
+        overrides["decentralized_check_scatter"] = True
+    if getattr(args, "check_coalesce", None) is not None:
+        overrides["check_coalesce_limit"] = args.check_coalesce
+    if getattr(args, "check_coalesce_window", None) is not None:
+        from .sim import NS
+
+        overrides["check_coalesce_window"] = args.check_coalesce_window * NS
     try:
         return SystemConfig(**overrides)
     except ValueError as exc:
@@ -255,6 +274,24 @@ def _add_resolve_args(p: argparse.ArgumentParser) -> None:
         "--spec-kickoff", action="store_true",
         help="speculative kick-off: waiter kicks run in per-shard kick "
         "units, overlapping the next notification's table update",
+    )
+
+
+def _add_check_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--check-scatter", action="store_true",
+        help="decentralize the Check Scatter: per-master scatter slices "
+        "re-sequenced per destination shard (program order preserved)",
+    )
+    p.add_argument(
+        "--check-coalesce", type=int, default=None,
+        help="check probes drained per check-engine activation "
+        "(1 = the paper's one-at-a-time Listing 2 loop)",
+    )
+    p.add_argument(
+        "--check-coalesce-window", type=int, default=None,
+        help="ns the check intake waits for stragglers before draining "
+        "a batch (needs --check-coalesce > 1)",
     )
 
 
@@ -364,6 +401,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"resolve pipeline: {'; '.join(bits)}; "
             f"{resolve['batches']} batches / {resolve['updates']} table updates"
         )
+    check = result.stats.get("check", {})
+    if check.get("decentralized_scatter") or check.get("coalesce_limit", 1) > 1:
+        bits = []
+        if check["decentralized_scatter"]:
+            held = check.get("reseq_max_held") or [0]
+            bits.append(
+                f"decentralized scatter: max {max(held)} held per "
+                f"re-sequencer"
+            )
+        if check["coalesce_limit"] > 1:
+            bits.append(
+                f"coalesce {check['coalesce_limit']}: mean batch "
+                f"{check['mean_batch']:.2f}, {check['row_merges']} row "
+                f"merges ({check['coalesce_rate']:.0%})"
+            )
+        print(
+            f"check pipeline: {'; '.join(bits)}; "
+            f"{check['batches']} batches / {check['probes']} probes"
+        )
     frontend = result.stats.get("frontend")
     if frontend:
         print(
@@ -377,11 +433,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args)
-    if getattr(args, "resolve", False) and getattr(args, "dispatch", False):
+    grids = [
+        f"--{name}"
+        for name in ("resolve", "dispatch", "check")
+        if getattr(args, name, False)
+    ]
+    if len(grids) > 1:
         raise SystemExit(
-            "--resolve and --dispatch select different sweep grids; "
+            f"{' and '.join(grids)} select different sweep grids; "
             "pick one (run the sweep twice for both curves)"
         )
+    if getattr(args, "check", False):
+        return _check_sweep(trace, args)
     if getattr(args, "resolve", False):
         return _resolve_sweep(trace, args)
     if getattr(args, "dispatch", False):
@@ -654,6 +717,74 @@ def _resolve_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
+    """Decentralized-check feature-grid sweep at a fixed machine shape."""
+    shards = _int_values("shards", args.shards) if args.shards else []
+    if len(shards) != 1 or shards[0] < 2:
+        raise SystemExit(
+            "--check sweeps the check-scatter features at a fixed shard "
+            "count; give --shards a single value > 1 (the grid targets the "
+            "sharded machine — use check_scaling_sweep directly for a "
+            "single-Maestro study)"
+        )
+    coalesce = args.check_coalesce if args.check_coalesce is not None else 8
+    if coalesce < 2:
+        raise SystemExit("--check-coalesce must be >= 2 for a --check sweep")
+    if args.check_scatter:
+        raise SystemExit(
+            "--check-scatter cannot be combined with --check: the sweep "
+            "itself toggles scatter decentralization (its grid covers on "
+            "and off)"
+        )
+    window = (args.check_coalesce_window or 0)
+    # The sweep itself toggles the check knobs; everything else is the
+    # fixed machine under test (--check-coalesce only sizes the on points).
+    args.check_coalesce = args.check_coalesce_window = None
+    cfg = _config_from(args, shards=shards[0])
+    from .sim import NS
+
+    report = check_scaling_sweep(trace, cfg, coalesce=coalesce, window=window * NS)
+    rows = []
+    for r in report.rows():
+        rows.append(
+            [
+                "on" if r["decentralized"] else "off",
+                r["coalesce"] if r["coalesce"] > 1 else "off",
+                f"{r['makespan_ps'] / 1e9:.4g}",
+                round(r["speedup_vs_baseline"], 2),
+                f"{r['scatter_busy']:.1%}",
+                f"{r['check_engine_busy']:.1%}",
+                f"{r['mean_batch']:.2f}",
+                f"{r['coalesce_rate']:.1%}",
+                r["busiest_maestro_block"],
+            ]
+        )
+    base_d, base_c = report.baseline_point
+    print(
+        render_table(
+            [
+                "decentral",
+                "coalesce",
+                "makespan (ms)",
+                f"speedup vs {'on' if base_d else 'off'}"
+                f"/{base_c if base_c > 1 else 'off'}",
+                "scatter busy",
+                "check busy",
+                "mean batch",
+                "merge rate",
+                "busiest block",
+            ],
+            rows,
+            f"{trace.name} @ {cfg.workers} workers, {cfg.maestro_shards} shard(s), "
+            f"{cfg.master_cores} master(s), retire depth "
+            f"{cfg.retire_pipeline_depth}",
+        )
+    )
+    if args.json:
+        _write_json(args.json, report.to_json_dict())
+    return 0
+
+
 def _master_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
     """Submission front-end scaling curve at fixed workers and shards."""
     master_counts = _int_values("masters", args.masters)
@@ -747,6 +878,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     _add_dispatch_args(p_info)
     _add_resolve_args(p_info)
+    _add_check_args(p_info)
     p_info.set_defaults(func=_cmd_info)
 
     p_wl = sub.add_parser("workloads", help="list workload generators")
@@ -767,6 +899,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     _add_dispatch_args(p_run)
     _add_resolve_args(p_run)
+    _add_check_args(p_run)
     p_run.add_argument("--verify", action="store_true", help="check schedule legality")
     p_run.add_argument("--bottleneck", action="store_true", help="attribute the bottleneck")
     p_run.set_defaults(func=_cmd_run)
@@ -814,6 +947,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="sweep the staged-resolve grid (coalescing x speculative "
         "kick-off) at a fixed single --shards; --coalesce sets the "
         "on-point batch limit",
+    )
+    _add_check_args(p_sweep)
+    p_sweep.add_argument(
+        "--check",
+        action="store_true",
+        help="sweep the decentralized-check grid (scatter decentralization "
+        "x check coalescing) at a fixed single --shards; --check-coalesce "
+        "sets the on-point batch limit",
     )
     p_sweep.add_argument("--json", default=None, help="write the sweep report to a JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)

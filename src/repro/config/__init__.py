@@ -3,6 +3,7 @@
 from .presets import (
     coalesced_resolve,
     contention_free,
+    decentral_check,
     fast_dispatch,
     fast_functional,
     multi_master,
@@ -28,4 +29,5 @@ __all__ = [
     "pipelined_retire",
     "fast_dispatch",
     "coalesced_resolve",
+    "decentral_check",
 ]

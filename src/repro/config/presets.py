@@ -15,6 +15,7 @@ __all__ = [
     "pipelined_retire",
     "fast_dispatch",
     "coalesced_resolve",
+    "decentral_check",
 ]
 
 
@@ -180,6 +181,50 @@ def coalesced_resolve(
         workers=workers,
         finish_coalesce_limit=coalesce,
         finish_coalesce_window=window,
+        speculative_kickoff=True,
+        td_cache_entries=td_cache,
+        td_prefetch_depth=prefetch_depth,
+        kickoff_fast_path=True,
+        retire_pipeline_depth=depth,
+        master_cores=masters,
+        submission_batch=batch,
+        maestro_shards=shards,
+        **overrides,
+    )
+
+
+def decentral_check(
+    check_coalesce: int = 8,
+    check_window: int = 0,
+    coalesce: int = 8,
+    td_cache: int = 64,
+    prefetch_depth: int = 2,
+    depth: int = 4,
+    masters: int = 8,
+    batch: int = 8,
+    shards: int = 4,
+    workers: int = 16,
+    **overrides,
+) -> SystemConfig:
+    """Decentralized check scatter on top of the coalesced-resolve machine
+    (beyond the paper): the central Check Scatter sequencer is replaced by
+    per-master scatter slices re-sequenced per destination shard (the
+    program-ordered check invariant preserved by sequence numbers, as the
+    merge unit preserves submission order), and the per-shard check
+    engines coalesce up to ``check_coalesce`` already-arrived probes per
+    activation, merging same-row probes into one Dependence Table row
+    access — the check-side mirror of finish-notification coalescing.
+
+    Defaults pair the knobs with the full 8-master fast-dispatch stack —
+    PR 5's bench left that machine's central scatter sequencer >80% busy,
+    the last serialization point every probe still funnels through.
+    """
+    return SystemConfig(
+        workers=workers,
+        decentralized_check_scatter=True,
+        check_coalesce_limit=check_coalesce,
+        check_coalesce_window=check_window,
+        finish_coalesce_limit=coalesce,
         speculative_kickoff=True,
         td_cache_entries=td_cache,
         td_prefetch_depth=prefetch_depth,

@@ -167,6 +167,33 @@ class SystemConfig:
     #: Works on both Maestro engines.
     speculative_kickoff: bool = False
 
+    # ---- decentralized check scatter --------------------------------------------
+    #: Decentralize the Check Scatter: replace the single program-ordered
+    #: scatter sequencer with one scatter slice per master core (each
+    #: master's descriptors are scattered from its own slice engine), with
+    #: a sequence-numbered re-sequencer per destination shard restoring
+    #: program order per destination — the same mechanism the submission
+    #: MergeUnit uses, applied per shard.  Per-address check order is
+    #: unchanged (ARCHITECTURE.md invariant 6).  False keeps the central
+    #: sequencer and builds none of the slice machinery.  A sharded-engine
+    #: knob: the single-Maestro machine has no scatter to decentralize.
+    decentralized_check_scatter: bool = False
+    #: Check probes a check engine drains from its inbox per activation
+    #: (check-side coalescing, the mirror image of
+    #: ``finish_coalesce_limit``).  1 reproduces the one-probe-at-a-time
+    #: loop exactly; N > 1 lets the engine pull up to N already-arrived
+    #: check messages in one batch, merge probes that hit the same
+    #: Dependence Table row into a single row access and pipeline the
+    #: probe/insert stages across the batch.  Per-address check order is
+    #: preserved: batches drain in arrival order and same-row probes apply
+    #: in that order within the merged access.  A sharded-engine knob.
+    check_coalesce_limit: int = 1
+    #: Picoseconds a check engine waits after the first probe of a batch
+    #: for stragglers before draining (0 = drain only what already
+    #: arrived).  Meaningful only with ``check_coalesce_limit`` > 1
+    #: (setting it alone is an error rather than a silent no-op).
+    check_coalesce_window: int = 0
+
     #: Locality-aware work stealing: an idle shard prefers stealing from
     #: shards that have no idle worker of their own, leaving a ready task
     #: whose home pool already holds an idle core for that core (its home
@@ -324,6 +351,30 @@ class SystemConfig:
                 "a batch window with a one-notification batch limit would "
                 "silently add latency and coalesce nothing"
             )
+        if self.check_coalesce_limit < 1:
+            raise ValueError(
+                f"check_coalesce_limit must be >= 1, got "
+                f"{self.check_coalesce_limit}"
+            )
+        if self.check_coalesce_window < 0:
+            raise ValueError(
+                f"check_coalesce_window must be >= 0, got "
+                f"{self.check_coalesce_window}"
+            )
+        if self.check_coalesce_window > 0 and self.check_coalesce_limit == 1:
+            raise ValueError(
+                "check_coalesce_window > 0 needs check_coalesce_limit > 1: "
+                "a batch window with a one-probe batch limit would silently "
+                "add latency and coalesce nothing"
+            )
+        if self.use_check_pipeline and not self.use_sharded_maestro:
+            raise ValueError(
+                "the decentralized check scatter and check-side coalescing "
+                "(decentralized_check_scatter or check_coalesce_limit > 1) "
+                "require the sharded Maestro engine (set maestro_shards > 1 "
+                "or force_sharded_maestro); the single-Maestro machine has "
+                "no Check Scatter to decentralize"
+            )
         if self.locality_stealing and not self.use_sharded_maestro:
             raise ValueError(
                 "locality_stealing=True requires the sharded Maestro "
@@ -392,6 +443,14 @@ class SystemConfig:
         coalescing and/or speculative kick-off); False is the paper-exact
         serial resolve loop on both engines."""
         return self.finish_coalesce_limit > 1 or self.speculative_kickoff
+
+    @property
+    def use_check_pipeline(self) -> bool:
+        """True when a check-path optimization is on (the decentralized
+        check scatter and/or check-side coalescing); False is the central
+        program-ordered scatter sequencer with one-probe-at-a-time check
+        engines — the pre-decentralization machine exactly."""
+        return self.decentralized_check_scatter or self.check_coalesce_limit > 1
 
     @property
     def steal_locality(self) -> bool:
@@ -515,6 +574,23 @@ class SystemConfig:
                 (
                     "Speculative kick-off",
                     "on" if self.speculative_kickoff else "off",
+                ),
+            ]
+        if self.use_check_pipeline:
+            extra += [
+                (
+                    "Check scatter",
+                    "decentralized"
+                    if self.decentralized_check_scatter
+                    else "central",
+                ),
+                (
+                    "Check coalesce limit",
+                    f"{self.check_coalesce_limit} probes/batch",
+                ),
+                (
+                    "Check coalesce window",
+                    f"{self.check_coalesce_window / NS:g}ns",
                 ),
             ]
         return [

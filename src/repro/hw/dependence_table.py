@@ -266,7 +266,8 @@ class DependenceTable:
     # ---- the Check Deps operation (Listing 2) ----------------------------------------
 
     def check_param(
-        self, tid: int, addr: int, size: int, reads: bool, writes: bool
+        self, tid: int, addr: int, size: int, reads: bool, writes: bool,
+        row_latched: bool = False, probe_overlapped: bool = False,
     ) -> Tuple[bool, int]:
         """Process one parameter of a newly submitted task.
 
@@ -275,11 +276,37 @@ class DependenceTable:
         incremented.  May require one free slot; callers stall until
         :attr:`free_slots` is nonzero before invoking (the hardware's
         Check Deps block waits on Handle Finished in the same situation).
+
+        Two coalesced-check discounts, mirroring
+        :meth:`finish_param`'s (see :mod:`repro.hw.resolve`):
+
+        * ``row_latched`` — an earlier probe of the same batch touched (or
+          inserted) this address's row and holds it in the check register,
+          so the lookup costs nothing and is not counted in the probe
+          statistics.  Kick-Off List manipulations still pay.  The entry
+          must exist: the batch's first probe of an address always leaves
+          an entry behind (a miss inserts one), so a latched-row claim for
+          a missing entry is a protocol violation.
+        * ``probe_overlapped`` — the probe/insert stages are pipelined
+          across the batch: this probe proceeded while the previous row's
+          check committed, so its probe accesses are not charged (still
+          counted in the probe statistics).  Only legal for a non-first
+          row of a drained batch.
         """
         if not (reads or writes):
             raise ProtocolError(f"task {tid}: parameter with no direction")
-        entry, probes = self._lookup(addr)
-        accesses = probes
+        if row_latched:
+            entry = self._table.get(addr)
+            if entry is None:
+                raise ProtocolError(
+                    f"task {tid}: coalesced check for {addr:#x} found no "
+                    "latched row — the batch's earlier probe of this "
+                    "address left no entry behind"
+                )
+            accesses = 0
+        else:
+            entry, probes = self._lookup(addr)
+            accesses = 0 if probe_overlapped else probes
         if entry is None:
             entry = self._insert(addr, size)
             accesses += 1

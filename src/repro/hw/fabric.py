@@ -43,16 +43,37 @@ finish/kick loop of both engines runs on the shared staged blocks of
 counters and — only when speculative kick-off is on — the per-shard kick
 queues their kick units drain).
 
+A sixth extension decentralizes the *check* path
+(``config.decentralized_check_scatter`` / ``config.check_coalesce_limit``):
+the central Check Scatter sequencer is replaced by per-master **scatter
+slices** — a zero-cycle router splits the program-ordered New Tasks stream
+across ``scatter_slices[tid % n_masters]``, stamping every check probe with
+a per-destination-shard sequence number — and a :class:`CheckResequencer`
+per shard restores injection order from ``scatter_out`` before the probes
+enter ``check_inbox``, exactly as the :class:`MergeUnit` restores
+submission order.  Per destination shard the probe stream is a
+re-sequenced permutation of the central sequencer's stream, so the
+per-address program order of checks (the Check Scatter invariant) is
+preserved.  ``Fabric.check_pipe`` (see :mod:`repro.hw.resolve`) owns the
+check-side coalescing knobs and counters; with both knobs off none of
+these structures are built and the machine is cycle-for-cycle the
+PR 5 machine.
+
 Interconnect message formats (payloads of :meth:`Interconnect.message`):
 
 ==================  =================================  =======================
 queue               payload                            direction
 ==================  =================================  =======================
 ``check_inbox``     ``(head, home, param, n_params)``  home shard -> owner
+``scatter_out``     ``(seq, check-inbox message)``     master slice -> owner
 ``reply_inbox``     ``(head, n_params)``               owner -> home (gather)
 ``finish_inbox``    ``(head, src, ticket, param)``     retiring shard -> owner
 ``retire_inbox``    ``ticket``                         owner -> retiring shard
 ==================  =================================  =======================
+
+``scatter_out`` wraps an already-stamped check-inbox message with its
+destination shard's scatter sequence number ``seq``; the shard's
+re-sequencer forwards messages strictly in ``seq`` order.
 
 ``ticket`` is the retire-ticket slot (0 .. ``retire_pipeline_depth`` - 1)
 the retiring shard charged for the finish; replies are matched to their
@@ -71,7 +92,7 @@ from .dependence_table import DependenceTable, shard_hash
 from .memory import MemorySystem
 from .task_pool import TaskPool
 
-__all__ = ["Fabric", "Interconnect", "MergeUnit", "RetireSlot"]
+__all__ = ["CheckResequencer", "Fabric", "Interconnect", "MergeUnit", "RetireSlot"]
 
 
 @dataclass
@@ -131,6 +152,64 @@ class MergeUnit:
             yield fab.tds_buffer.put(task)
             self.next_seq += 1
             self.merged += 1
+
+
+class CheckResequencer:
+    """Per-shard sequence-numbered reorder unit for the decentralized
+    check scatter.
+
+    Each master's scatter slice injects its check probes independently, so
+    probes bound for one shard can arrive out of program order.  Unlike the
+    :class:`MergeUnit` — whose next source is statically ``seq % n_masters``
+    — the next probe's source slice depends on the trace, so the unit keeps
+    a small reorder buffer keyed by sequence number: out-of-order arrivals
+    are held, and whenever the expected sequence number is present the unit
+    waits out the message's stamped flight time and forwards it into the
+    shard's check inbox, one probe per Nexus cycle.  Downstream of the
+    re-sequencer the probe stream is exactly the central sequencer's
+    stream for this shard, so the Check Scatter invariant (per-address
+    checks observed in program order) holds untouched.
+    """
+
+    def __init__(self, fabric: "Fabric", shard: int):
+        self.fabric = fabric
+        self.shard = shard
+        #: Scatter sequence number the unit expects next.
+        self.next_seq = 0
+        #: Probes forwarded into the shard's check inbox so far.
+        self.forwarded = 0
+        #: High-water mark of the reorder buffer (out-of-order arrivals).
+        self.max_held = 0
+        self._held: Dict[int, Tuple[int, object]] = {}
+
+    def start(self) -> None:
+        self.fabric.sim.process(
+            self._run(), name=f"s{self.shard}-check-reseq"
+        )
+
+    def _run(self):
+        fab = self.fabric
+        sim = fab.sim
+        inbox = fab.scatter_out[self.shard]
+        while True:
+            seq, msg = yield inbox.get()
+            if seq < self.next_seq or seq in self._held:
+                raise RuntimeError(
+                    f"shard {self.shard} check re-sequencer saw sequence "
+                    f"{seq} twice (expected {self.next_seq} next); a scatter "
+                    "slice replayed or reordered its own stream"
+                )
+            self._held[seq] = msg
+            if len(self._held) > self.max_held:
+                self.max_held = len(self._held)
+            while self.next_seq in self._held:
+                arrive_at, payload = self._held.pop(self.next_seq)
+                if arrive_at > sim.now:
+                    yield sim.timeout(arrive_at - sim.now)
+                yield sim.timeout(fab.cycle)  # reorder-slot pop + inbox push
+                yield fab.check_inbox[self.shard].put((sim.now, payload))
+                self.next_seq += 1
+                self.forwarded += 1
 
 
 class Interconnect:
@@ -257,9 +336,15 @@ class Fabric:
         # counters are free bookkeeping — but kick queues/processes are
         # built only when a knob is on, so the knobs-off machine carries
         # no extra events (see repro.hw.resolve).
-        from .resolve import ResolvePipeline
+        from .resolve import CheckPipeline, ResolvePipeline
 
         self.resolve = ResolvePipeline(self)
+
+        #: Check-path pipeline owner (decentralized scatter + check-side
+        #: coalescing): like ``resolve``, the owner exists on every machine
+        #: — counters are free bookkeeping — while the scatter structures
+        #: above are built only when the knob is on.
+        self.check_pipe = CheckPipeline(self)
 
         #: Time-weighted kick-off waiter occupancy, one recorder per
         #: Dependence Table (slice): how many tasks sat queued in
@@ -451,6 +536,35 @@ class Fabric:
         self.retire_inbox: List[Fifo] = [
             Fifo(sim, reply_cap, f"s{s}-finish-replies") for s in range(n)
         ]
+        # Decentralized check scatter: per-master scatter slices fed by a
+        # zero-cycle router at New Tasks, per-shard seq-tagged scatter-out
+        # channels, and the re-sequencers that restore injection order in
+        # front of the check inboxes.  Built only when the knob is on, so
+        # the knob-off machine carries no extra FIFOs or processes.
+        if config.decentralized_check_scatter:
+            # The New Tasks capacity is split across the slices (rounded
+            # up), mirroring the per-master TDs buffer split.
+            slice_depth = -(-config.new_tasks_list_entries // self.n_masters)
+            self.scatter_slices: List[Fifo] = [
+                Fifo(
+                    sim,
+                    slice_depth,
+                    f"m{m}-scatter-slice",
+                    track_occupancy=True,
+                )
+                for m in range(self.n_masters)
+            ]
+            # Sized like the gather channels: one slot per in-flight
+            # parameter, so a slice can always inject (no scatter deadlock).
+            self.scatter_out: List[Fifo] = [
+                Fifo(sim, reply_cap, f"s{s}-scatter-out") for s in range(n)
+            ]
+            self.check_reseq: List[CheckResequencer] = [
+                CheckResequencer(self, s) for s in range(n)
+            ]
+            #: Next scatter sequence number per destination shard; advanced
+            #: by the router in program order at New Tasks.
+            self.dest_seq: List[int] = [0] * n
         #: TP head index -> home shard of the in-flight task's descriptor.
         self.home_of: Dict[int, int] = {}
         # Retire pipelining: each shard's front-end charges one ticket per

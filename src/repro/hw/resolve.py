@@ -43,6 +43,17 @@ are single notifications, row merging never triggers, no kick queues or
 kick-unit processes exist — both engines are cycle-for-cycle the
 pre-resolve-pipeline machines (differential-tested against recorded
 goldens in ``tests/integration/test_resolve_differential.py``).
+
+The *check* side of the machine reuses the same staging discipline:
+:func:`check_intake_block` / :func:`check_update_block` (driven by
+:class:`CheckPipeline`) are the check-flavored mirror of the intake and
+table-update stages — a batch of already-arrived check probes per
+check-engine activation, same-row probes merged into one hash-probe
+access (``row_latched`` in
+:meth:`~repro.hw.dependence_table.DependenceTable.check_param`), the
+probe/insert stages pipelined across the batch.  Gated by
+``check_coalesce_limit``/``check_coalesce_window`` and
+differential-tested in ``tests/integration/test_check_differential.py``.
 """
 
 from __future__ import annotations
@@ -53,9 +64,12 @@ from ..sim import Fifo
 
 __all__ = [
     "ResolvePipeline",
+    "CheckPipeline",
     "notify_drain_block",
     "finish_intake_block",
+    "check_intake_block",
     "table_update_block",
+    "check_update_block",
     "waiter_kick_block",
 ]
 
@@ -102,6 +116,94 @@ def finish_intake_block(fab, inbox: Fifo, resolve: "ResolvePipeline", first):
                 break
             msgs.append(inbox.try_get()[1])
     return msgs
+
+
+def check_intake_block(fab, inbox: Fifo, check: "CheckPipeline", first):
+    """Stage 1 (check flavor): coalesce a shard's check-inbox drain.
+
+    The mirror image of :func:`finish_intake_block` on the check side:
+    ``first`` is the stamped check message's payload already received (and
+    waited out) by the check engine; up to ``check_coalesce_limit`` - 1
+    further messages whose stamped arrival time has passed are drained
+    into the batch — a probe still in flight on the ring is never waited
+    for beyond the optional ``check_coalesce_window``.  Returns the
+    payload list, arrival order.
+    """
+    msgs = [first]
+    if check.coalesce_limit > 1:
+        if check.coalesce_window:
+            yield fab.sim.timeout(check.coalesce_window)
+        now = fab.sim.now
+        while len(msgs) < check.coalesce_limit:
+            head = inbox.peek()
+            if head is None or head[0] > now:
+                break
+            msgs.append(inbox.try_get()[1])
+    return msgs
+
+
+def check_update_block(fab, shard: int, msgs, check: "CheckPipeline"):
+    """Stage 2 (check flavor): apply a batch of dependence checks to one
+    shard's Dependence Table slice.
+
+    ``msgs`` is the batch's ordered ``(head, home, param, n_params)``
+    check-message list.  Probes are grouped by table row (insertion
+    order, so per-address order within the batch is arrival order); each
+    group costs one port arbitration and one merged access — the first
+    probe pays the hash lookup (and any insert), the rest find the row
+    latched; a later row's first probe pipelines with the previous row's
+    commit.  A batch of one is cycle-for-cycle the paper's Listing 2
+    loop.  Blocked tasks get their Dependence Counter bumped and every
+    probe's reply travels to its own home shard, in batch order per row
+    group — a coalesced batch never delays an early group's replies
+    behind an unrelated row.
+    """
+    sim = fab.sim
+    table = fab.dep_shards[shard]
+    port = fab.dt_ports[shard]
+    pipelined = check.coalesce_limit > 1
+    groups: Dict[int, List[tuple]] = {}
+    for msg in msgs:
+        groups.setdefault(msg[2].addr, []).append(msg)
+    for g, group in enumerate(groups.values()):
+        # A check may need fresh table slots (a new address entry or a
+        # Kick-Off dummy, at most one per probe).  The free-slot wait must
+        # precede the port grab: the finish engine that frees slots
+        # arbitrates for the same port, so waiting while holding it would
+        # deadlock the shard.  One slot per probe is reserved
+        # conservatively — the whole group commits under one grant.
+        while table.free_slots < len(group):
+            fab.dt_freed_shard[shard].clear()
+            yield fab.dt_freed_shard[shard].wait()
+        yield port.acquire()
+        accesses_total = 0
+        results = []
+        for i, (head, home, param, n) in enumerate(group):
+            blocked, accesses = table.check_param(
+                head, param.addr, param.size,
+                param.mode.reads, param.mode.writes,
+                # Same-row probes after the first find the row latched
+                # (the first probe touched or inserted the entry); a
+                # later row's first probe hides behind the previous
+                # row's write-back.  The batch's very first probe pays
+                # full price — a batch of one is Listing 2 exactly.
+                row_latched=i > 0,
+                probe_overlapped=pipelined and i == 0 and g > 0,
+            )
+            accesses_total += accesses
+            results.append((head, home, n, blocked))
+        yield sim.timeout(accesses_total * fab.on_chip)
+        port.release()
+        for head, home, n, blocked in results:
+            if blocked:
+                yield fab.tp_port.acquire()
+                fab.task_pool.add_dependence(head)
+                yield sim.timeout(fab.on_chip)
+                fab.tp_port.release()
+            yield fab.reply_inbox[home].put(
+                fab.icn.message(shard, home, (head, n))
+            )
+    check.note_batch(len(msgs), len(groups))
 
 
 def table_update_block(fab, table, port, freed, updates,
@@ -289,3 +391,59 @@ class ResolvePipeline:
             "speculative_kicks": self.speculative_kicks,
         }
         return out
+
+
+class CheckPipeline:
+    """Owner of the check-path state: knobs and coalescing counters.
+
+    The check-side mirror of :class:`ResolvePipeline`: built by the
+    :class:`~repro.hw.fabric.Fabric` for every machine (the counters are
+    free bookkeeping), but the scatter slices and per-destination
+    re-sequencers exist only when ``decentralized_check_scatter`` is on —
+    a knobs-off machine carries no extra FIFOs, processes or events and
+    keeps the central program-ordered scatter sequencer.
+    """
+
+    def __init__(self, fabric) -> None:
+        self.fabric = fabric
+        config = fabric.config
+        self.coalesce_limit = config.check_coalesce_limit
+        self.coalesce_window = config.check_coalesce_window
+        self.decentralized = config.decentralized_check_scatter
+        # ---- statistics ------------------------------------------------------
+        #: Check-engine activations (one per drained batch).
+        self.batches = 0
+        #: Dependence checks applied (one per parameter probe).
+        self.probes = 0
+        #: Probes that found their row latched by an earlier probe of the
+        #: same batch (the merged row accesses).
+        self.row_merges = 0
+        #: Largest probe batch one activation applied.
+        self.max_batch = 0
+
+    # ---- coalescing bookkeeping --------------------------------------------------
+
+    def note_batch(self, n_probes: int, n_rows: int) -> None:
+        """Record one check batch (stats only, no events)."""
+        self.batches += 1
+        self.probes += n_probes
+        self.row_merges += n_probes - n_rows
+        if n_probes > self.max_batch:
+            self.max_batch = n_probes
+
+    # ---- reporting ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "decentralized_scatter": self.decentralized,
+            "coalesce_limit": self.coalesce_limit,
+            "coalesce_window_ps": self.coalesce_window,
+            "batches": self.batches,
+            "probes": self.probes,
+            "mean_batch": self.probes / self.batches if self.batches else 0.0,
+            "max_batch": self.max_batch,
+            "row_merges": self.row_merges,
+            "coalesce_rate": (
+                self.row_merges / self.probes if self.probes else 0.0
+            ),
+        }

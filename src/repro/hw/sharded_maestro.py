@@ -14,17 +14,35 @@ Protocol
   TDs-Buffer drain, so submission timing cannot drift between engines):
   pulls Task Descriptors off the TDs Buffer into the (still central) Task
   Pool, and assigns each task a *home shard* round-robin by task id.
-* **Check Scatter** (one instance) — the program-order sequencer.  Pops the
-  New Tasks list in submission order and injects one dependence-check
-  message per parameter into the owning shard's check inbox, one message
-  per Nexus cycle.  Because injection is in program order and the
-  interconnect delivers in order per destination, every shard observes the
-  checks for its addresses in program order — the invariant that makes the
-  distributed Dependence Table equivalent to the central one.
+* **Check Scatter** (one instance, default) — the program-order sequencer.
+  Pops the New Tasks list in submission order and injects one
+  dependence-check message per parameter into the owning shard's check
+  inbox, one message per Nexus cycle.  Because injection is in program
+  order and the interconnect delivers in order per destination, every
+  shard observes the checks for its addresses in program order — the
+  invariant that makes the distributed Dependence Table equivalent to the
+  central one.
+* **Scatter router + slices** (``decentralized_check_scatter``, replaces
+  the central sequencer) — a zero-cycle router pops New Tasks in the same
+  program order but only *stamps* each parameter's probe with its
+  destination shard's next scatter sequence number and drops it into the
+  submitting master's scatter slice (``tid % master_cores``); each slice
+  engine independently injects its own probes, one per Nexus cycle, into
+  the seq-tagged ``scatter_out`` channels.  The per-shard
+  :class:`~repro.hw.fabric.CheckResequencer` restores injection order in
+  front of the check inbox, so downstream of the re-sequencer every shard
+  still observes its checks in program order — the Check Scatter
+  invariant survives decentralization by re-sequencing, exactly as the
+  MergeUnit preserves submission order (ARCHITECTURE.md invariant 6).
 * **Check engine** (per shard) — services its check inbox: probes the
   shard's Dependence Table slice exactly as Listing 2, bumps the waiter's
   Dependence Counter in the Task Pool on a hazard, and posts a reply to the
-  home shard's gather unit.
+  home shard's gather unit.  With check-side coalescing on
+  (``check_coalesce_limit`` > 1) the engine instead runs the staged check
+  blocks of :mod:`repro.hw.resolve`: intake drains a batch of
+  already-arrived probes, same-row probes merge into one row access and
+  the probe/insert stages pipeline across the batch — the check-side
+  mirror of the finish engine's coalescing.
 * **Gather** (per shard) — counts check replies per task; when the last
   parameter's reply arrives it closes the check (the Task Pool busy flag,
   as in the single Maestro) and pushes ready tasks onto the *home shard's*
@@ -82,7 +100,8 @@ Message formats (ticket fields included) are tabulated in
 (issue half), ``s{N}.retire_done`` (completion half; idle at depth 1),
 ``s{N}.prefetch`` (only when the TD cache is wired) and ``s{N}.kick``
 (only when speculative kick-off is on), plus the central ``write_tp``
-and ``scatter``.
+and ``scatter`` (idle under the decentralized scatter, whose per-master
+slice engines report as ``m{M}.scatter``).
 
 Finish-path ordering invariant (load-bearing for pipelined retirement):
 each shard's retire front-end is the *only* injector of its finish
@@ -109,7 +128,13 @@ from ..scoreboard import Scoreboard
 from ..sim import BusyTracker
 from .fabric import Fabric, RetireSlot
 from .maestro import retire_free_block, send_tds_block, write_tp_block
-from .resolve import finish_intake_block, table_update_block, waiter_kick_block
+from .resolve import (
+    check_intake_block,
+    check_update_block,
+    finish_intake_block,
+    table_update_block,
+    waiter_kick_block,
+)
 
 __all__ = ["ShardedMaestro"]
 
@@ -162,6 +187,13 @@ class ShardedMaestro:
             # Same reasoning for the speculative kick units.
             for s in range(self.n_shards):
                 self.busy[f"s{s}.kick"] = BusyTracker(sim)
+        if fabric.config.decentralized_check_scatter:
+            # The per-master scatter slice engines replace the central
+            # sequencer; their trackers exist only when the knob is on,
+            # so the knob-off stats keys are unchanged (the central
+            # ``scatter`` key stays and reads 0.0 under decentralization).
+            for m in range(fabric.n_masters):
+                self.busy[f"m{m}.scatter"] = BusyTracker(sim)
 
     def utilization(self, span: int) -> dict:
         """Fraction of ``span`` each Maestro block spent occupied."""
@@ -170,7 +202,19 @@ class ShardedMaestro:
     def start(self) -> None:
         sim = self.fabric.sim
         sim.process(self._write_tp(), name="smaestro.write-tp")
-        sim.process(self._check_scatter(), name="smaestro.check-scatter")
+        if self.fabric.config.decentralized_check_scatter:
+            # Decentralized scatter: the zero-cycle router, one slice
+            # engine per master and one re-sequencer per shard replace
+            # the central sequencer process.
+            sim.process(self._scatter_route(), name="smaestro.scatter-route")
+            for m in range(self.fabric.n_masters):
+                sim.process(
+                    self._scatter_slice(m), name=f"smaestro.m{m}.scatter"
+                )
+            for reseq in self.fabric.check_reseq:
+                reseq.start()
+        else:
+            sim.process(self._check_scatter(), name="smaestro.check-scatter")
         pipelined = self.fabric.config.retire_pipeline_depth > 1
         for s in range(self.n_shards):
             sim.process(self._check_engine(s), name=f"smaestro.s{s}.check")
@@ -245,9 +289,81 @@ class ShardedMaestro:
                 yield fab.check_inbox[owner].put(msg)
             self.busy["scatter"].end()
 
+    # ---- Decentralized scatter (router + per-master slice engines) ----------------
+
+    def _scatter_route(self):
+        """Zero-cycle scatter router: splits the program-ordered New Tasks
+        stream across the per-master scatter slices.
+
+        Routing is combinational fabric, not a sequencer: the router
+        charges no cycles — the per-probe injection cycle is paid by the
+        slice engines — but it *is* the single program-order point where
+        every probe receives its destination shard's scatter sequence
+        number, which is what the re-sequencers later restore.  A full
+        slice FIFO backpressures the router (and therefore New Tasks),
+        mirroring the central sequencer's backpressure on a full inbox.
+        """
+        fab = self.fabric
+        while True:
+            head = yield fab.new_tasks.get()
+            task = fab.task_of(head)
+            home = fab.home_of[head]
+            n = task.n_params
+            slice_fifo = fab.scatter_slices[task.tid % fab.n_masters]
+            for param in task.params:
+                owner = fab.shard_of(param.addr)
+                seq = fab.dest_seq[owner]
+                fab.dest_seq[owner] = seq + 1
+                yield slice_fifo.put((seq, owner, (head, home, param, n)))
+
+    def _scatter_slice(self, m: int):
+        """Per-master scatter slice engine: injects its own master's check
+        probes, one per Nexus cycle, independently of the other slices.
+
+        The injection charge and the interconnect accounting are exactly
+        the central sequencer's — decentralization buys concurrency
+        across masters, not cheaper probes.  Probes leave seq-tagged into
+        the destination's ``scatter_out`` channel; ordering across slices
+        is the re-sequencer's job.
+        """
+        fab = self.fabric
+        sim = fab.sim
+        busy = self.busy[f"m{m}.scatter"]
+        slice_fifo = fab.scatter_slices[m]
+        while True:
+            seq, owner, payload = yield slice_fifo.get()
+            busy.begin()
+            yield sim.timeout(fab.cycle)
+            msg = fab.icn.message(payload[1], owner, payload)
+            busy.end()
+            yield fab.scatter_out[owner].put((seq, msg))
+
     # ---- Check engine (per shard; Listing 2 on the shard's table slice) -----------
 
     def _check_engine(self, s: int):
+        # Coalescing restructures the engine loop; the serial body below
+        # must stay verbatim the pre-coalescing engine, so the two are
+        # separate generators picked once at build time.
+        if self.fabric.check_pipe.coalesce_limit > 1:
+            return self._check_engine_coalesced(s)
+        return self._check_engine_serial(s)
+
+    def _check_engine_coalesced(self, s: int):
+        """Coalesced check engine: the staged check blocks of
+        :mod:`repro.hw.resolve` (intake drain + batched table probe)."""
+        fab = self.fabric
+        busy = self.busy[f"s{s}.check"]
+        check = fab.check_pipe
+        while True:
+            first = yield from self._recv(fab.check_inbox[s])
+            busy.begin()
+            msgs = yield from check_intake_block(
+                fab, fab.check_inbox[s], check, first
+            )
+            yield from check_update_block(fab, s, msgs, check)
+            busy.end()
+
+    def _check_engine_serial(self, s: int):
         fab = self.fabric
         sim = fab.sim
         table = fab.dep_shards[s]
@@ -272,6 +388,7 @@ class ShardedMaestro:
                 yield sim.timeout(fab.on_chip)
                 fab.tp_port.release()
             busy.end()
+            fab.check_pipe.note_batch(1, 1)
             yield fab.reply_inbox[home].put(fab.icn.message(s, home, (head, n)))
 
     # ---- Gather (per shard; closes the check once all replies are in) --------------
@@ -314,6 +431,15 @@ class ShardedMaestro:
         busy = self.busy[f"s{s}.schedule"]
         n = self.n_shards
         locality = fab.config.steal_locality
+        # Pool-occupancy cutoff on the politeness: with fewer worker cores
+        # than shards, some shards own no cores at all — every task homed
+        # there must be stolen anyway, and the worker-owning shards
+        # deferring each other's hints only starves their claimed cores
+        # (the 8-shard/2-worker regression: locality stealing *slower*
+        # than plain ticket stealing).  On such a machine the deferral is
+        # disabled outright, collapsing the locality policy to the plain
+        # one; hint-first victim choice costs nothing either way.
+        polite = locality and fab.config.workers >= n
         while True:
             # Claim a free worker core first: only an idle shard pulls work,
             # which is what makes the ticket consumption a steal request.
@@ -326,7 +452,7 @@ class ShardedMaestro:
                 head = fab.shard_ready[s].try_get()
                 if head is not None or not locality:
                     break
-                if hint != s and (
+                if polite and hint != s and (
                     len(fab.worker_pools[hint]) > 0 or fab.scheduler_armed[hint]
                 ):
                     # Locality policy: leave a task whose home pool already

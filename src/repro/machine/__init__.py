@@ -4,12 +4,14 @@ from .bottleneck import BottleneckReport, analyze_bottleneck
 from .machine import NexusMachine, run_trace
 from .results import RunResult, Scoreboard, TaskRecord
 from .sweep import (
+    CheckScalingReport,
     DispatchLatencyReport,
     MasterScalingReport,
     ResolveScalingReport,
     RetireScalingReport,
     ShardScalingReport,
     SpeedupCurve,
+    check_scaling_sweep,
     dispatch_latency_sweep,
     master_scaling_sweep,
     resolve_scaling_sweep,
@@ -38,6 +40,8 @@ __all__ = [
     "dispatch_latency_sweep",
     "ResolveScalingReport",
     "resolve_scaling_sweep",
+    "CheckScalingReport",
+    "check_scaling_sweep",
     "BottleneckReport",
     "analyze_bottleneck",
 ]

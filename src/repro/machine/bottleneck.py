@@ -13,7 +13,10 @@ The attribution compares stage occupancies over the run:
   (plus stall time waiting on a full TDs Buffer);
 * one of the five **Maestro blocks** (Write TP, Check Deps, Schedule,
   Send TDs, Handle Finished) — per-shard blocks (``maestro.s{N}.*``) on a
-  sharded machine;
+  sharded machine.  A saturated *check-path* block (the central Check
+  Scatter sequencer, a per-master scatter slice or a shard's check
+  engine) carries a check-flavored detail naming the levers
+  (``decentralized_check_scatter``, ``check_coalesce_limit``);
 * **retire** — on a sharded machine, the share of the run the most
   backpressured shard spent with every retire ticket in flight (its
   pipeline full); the verdict when that exceeds 50% *and* a retire block
@@ -86,6 +89,27 @@ class BottleneckReport:
         return out
 
 
+def _check_path_detail(verdict: str) -> Optional[str]:
+    """Check-flavored saturation detail: a saturated Check Scatter
+    sequencer, scatter slice or check engine points at the check-path
+    knobs, the way the resolve-flavored latency detail points at the
+    resolve knobs."""
+    name = verdict.removeprefix("maestro.")
+    is_check = (
+        name == "scatter"
+        or name.endswith(".scatter")
+        or name.endswith(".check")
+        or name == "check_deps"
+    )
+    if not is_check:
+        return None
+    return (
+        "the check path is saturated — the check-scatter knobs "
+        "(decentralized_check_scatter, check_coalesce_limit) target "
+        "this block"
+    )
+
+
 def _busiest_is_retire(occupancy: Dict[str, float]) -> bool:
     """True when the most occupied Maestro block is a retire front-end."""
     blocks = {k: v for k, v in occupancy.items() if k.startswith("maestro.")}
@@ -153,6 +177,7 @@ def analyze_bottleneck(
         verdict = max(
             (upstream or saturated).items(), key=lambda kv: kv[1]
         )[0]
+        detail = _check_path_detail(verdict)
     elif occupancy.get("retire", 0.0) >= _RETIRE_BACKPRESSURE and _busiest_is_retire(
         occupancy
     ):
@@ -175,7 +200,24 @@ def _latency_or_application(result: RunResult) -> tuple[str, Optional[str]]:
     dispatch = result.stats.get("dispatch") or {}
     chain_fraction = dispatch.get("chain_fraction", 0.0)
     depth = dispatch.get("chain_depth", 0)
-    if chain_fraction < _LATENCY_CHAIN or not depth:
+    if not dispatch or not depth:
+        # No release chain at all: either the dispatch attribution was
+        # never recorded, or no task was released by another (independent
+        # tasks, or a truncated run that ended before any chain formed).
+        # There is nothing to divide the makespan over — say so instead
+        # of implying a measured application verdict.
+        why = (
+            "no dispatch attribution recorded"
+            if not dispatch
+            else "no release chain recorded"
+        )
+        if result.master_done is None:
+            why += "; the run was truncated before the masters finished"
+        return "application", (
+            f"{why} — nothing saturated and no chain to attribute, so the "
+            "dependency structure is the limit by elimination"
+        )
+    if chain_fraction < _LATENCY_CHAIN:
         return "application", None
     mean_hop = dispatch.get("chain_hop_ns", {}).get("total", 0.0)
     detail = (

@@ -148,6 +148,21 @@ class NexusMachine:
             resolve_stats["kick_queue_max"] = [
                 q.stat.max_level for q in fabric.resolve.kick_queues
             ]
+        # Check-path pipeline: scatter mode + coalescing counters; under
+        # the decentralized scatter also the per-slice occupancy and the
+        # re-sequencer reorder-buffer shape (forwarded counts must match,
+        # max_held is the out-of-order high-water mark).
+        check_stats = fabric.check_pipe.stats()
+        if cfg.decentralized_check_scatter:
+            check_stats["slice_mean_occupancy"] = [
+                round(f.stat.mean(span), 4) for f in fabric.scatter_slices
+            ]
+            check_stats["reseq_forwarded"] = [
+                r.forwarded for r in fabric.check_reseq
+            ]
+            check_stats["reseq_max_held"] = [
+                r.max_held for r in fabric.check_reseq
+            ]
         stats = {
             "maestro_utilization": maestro.utilization(span),
             "worker_busy_fraction": [
@@ -174,6 +189,10 @@ class NexusMachine:
             # Staged-resolve pipeline: coalescing rate, batch shape and
             # resolve-stage queue depths.
             "resolve": resolve_stats,
+            # Check-path pipeline: scatter mode, check-side coalescing
+            # counters and (decentralized only) the scatter slice /
+            # re-sequencer shape.
+            "check": check_stats,
         }
         if fabric.dispatch is not None:
             stats["dispatch"]["fast_dispatch"] = fabric.dispatch.stats()
@@ -247,6 +266,9 @@ class NexusMachine:
                 "finish_coalesce_limit": cfg.finish_coalesce_limit,
                 "finish_coalesce_window": cfg.finish_coalesce_window,
                 "speculative_kickoff": cfg.speculative_kickoff,
+                "decentralized_check_scatter": cfg.decentralized_check_scatter,
+                "check_coalesce_limit": cfg.check_coalesce_limit,
+                "check_coalesce_window": cfg.check_coalesce_window,
             },
         )
 

@@ -29,6 +29,8 @@ __all__ = [
     "dispatch_latency_sweep",
     "ResolveScalingReport",
     "resolve_scaling_sweep",
+    "CheckScalingReport",
+    "check_scaling_sweep",
 ]
 
 
@@ -642,6 +644,149 @@ def resolve_scaling_sweep(
         for c, s in points
     ]
     return ResolveScalingReport(
+        trace_name=trace.name,
+        workers=base.workers,
+        shards=base.maestro_shards,
+        window=window,
+        points=points,
+        runs=runs,
+    )
+
+
+@dataclass
+class CheckScalingReport:
+    """Makespan + check-path occupancy over the decentralized-check grid.
+
+    Answers the question PR 5's resolve sweep raised: with the resolve
+    path staged, the central Check Scatter sequencer is the last block
+    every probe still funnels through (>80% busy on the widened
+    front-end) — so the levers are the decentralized scatter (per-master
+    slices re-sequenced per destination shard) and check-side coalescing
+    (same-row probes of one batch merged into a single Dependence Table
+    row access).  Each swept point toggles the two check knobs; the rows
+    carry the scatter occupancy (central sequencer or busiest slice),
+    the busiest check engine and the coalescing counters so the report
+    shows *how* each knob earned its cut.  Speedups are measured against
+    the both-off run when present, else the first point.
+    """
+
+    trace_name: str
+    workers: int
+    shards: int
+    window: int  #: check coalesce window (ps) applied at coalesce-on points
+    points: List[tuple[bool, int]]  # (decentralized, check_coalesce_limit)
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def baseline_point(self) -> tuple[bool, int]:
+        return (False, 1) if (False, 1) in self.points else self.points[0]
+
+    @property
+    def speedups(self) -> List[float]:
+        base = self.runs[self.points.index(self.baseline_point)]
+        return [base.makespan / r.makespan for r in self.runs]
+
+    def at(self, decentralized: bool, coalesce: int) -> RunResult:
+        return self.runs[self.points.index((decentralized, coalesce))]
+
+    def rows(self) -> List[dict]:
+        """One report row per swept point (used by the CLI and the bench)."""
+        out = []
+        for (decentralized, coalesce), run, speedup in zip(
+            self.points, self.runs, self.speedups
+        ):
+            util = run.stats.get("maestro_utilization", {})
+            check = run.stats.get("check", {})
+            # The scatter block's occupancy: the central sequencer when
+            # it runs, else the busiest per-master slice engine.
+            scatter = {
+                k: v
+                for k, v in util.items()
+                if k == "scatter" or k.endswith(".scatter")
+            }
+            checks = {k: v for k, v in util.items() if k.endswith(".check")}
+            out.append(
+                {
+                    "decentralized": decentralized,
+                    "coalesce": coalesce,
+                    "window_ps": check.get("coalesce_window_ps", 0),
+                    "makespan_ps": run.makespan,
+                    "speedup_vs_baseline": round(speedup, 4),
+                    "scatter_busy": (
+                        round(max(scatter.values()), 4) if scatter else None
+                    ),
+                    "check_engine_busy": (
+                        round(max(checks.values()), 4) if checks else None
+                    ),
+                    "mean_batch": round(check.get("mean_batch", 0.0), 4),
+                    "coalesce_rate": round(check.get("coalesce_rate", 0.0), 4),
+                    "row_merges": check.get("row_merges", 0),
+                    "reseq_max_held": max(
+                        check.get("reseq_max_held") or [0]
+                    ),
+                    "busiest_maestro_block": (
+                        max(util, key=util.get) if util else None
+                    ),
+                }
+            )
+        return out
+
+    def to_json_dict(self) -> dict:
+        return {
+            "trace": self.trace_name,
+            "workers": self.workers,
+            "shards": self.shards,
+            "window_ps": self.window,
+            "baseline": {
+                "decentralized": self.baseline_point[0],
+                "coalesce": self.baseline_point[1],
+            },
+            "rows": self.rows(),
+        }
+
+
+def check_scaling_sweep(
+    trace: TaskTrace,
+    config: Optional[SystemConfig] = None,
+    coalesce: int = 8,
+    window: int = 0,
+    points: Optional[Sequence[tuple[bool, int]]] = None,
+) -> CheckScalingReport:
+    """Run ``trace`` over the decentralized-check feature grid.
+
+    The default grid is the four-point ablation — (central scatter,
+    coalescing off) baseline, each knob alone, both together — with a
+    batch limit of ``coalesce`` (and ``window`` picoseconds of straggler
+    wait) at the coalescing-on points.  ``config`` must use the sharded
+    Maestro engine — the scatter slices and check engines are its
+    per-shard/per-master blocks; the single Maestro has no scatter to
+    decentralize.  Everything but the two check knobs is held fixed, so
+    the curve isolates the check path.
+    """
+    base = config or SystemConfig()
+    if not base.use_sharded_maestro:
+        raise ValueError(
+            "check_scaling_sweep needs the sharded Maestro engine: set "
+            "maestro_shards > 1 (or force_sharded_maestro) on the config"
+        )
+    if coalesce < 2:
+        raise ValueError("coalesce must be >= 2 (the coalescing-on batch limit)")
+    if points is None:
+        points = [(False, 1), (True, 1), (False, coalesce), (True, coalesce)]
+    points = list(points)
+    if not points:
+        raise ValueError("need at least one (decentralized, coalesce) point")
+    runs = [
+        NexusMachine(
+            base.with_(
+                decentralized_check_scatter=d,
+                check_coalesce_limit=c,
+                check_coalesce_window=window if c > 1 else 0,
+            )
+        ).run(trace)
+        for d, c in points
+    ]
+    return CheckScalingReport(
         trace_name=trace.name,
         workers=base.workers,
         shards=base.maestro_shards,

@@ -129,11 +129,22 @@ class Fifo:
     def peek(self) -> Any:
         """The head item without removing it, or ``None`` when empty.
 
-        Used by batch-draining arbiters (the coalescing resolve intake)
-        that must inspect a stamped message's arrival time before
-        deciding to pop it.  No events, no statistics — a wire tap.
+        Used by batch-draining arbiters (the coalescing resolve/check
+        intakes) that must inspect a stamped message's arrival time
+        before deciding to pop it.  No events, no statistics — a wire
+        tap.  ``peek`` shows exactly what the next ``get``/``try_get``
+        would deliver: when the queue proper is empty but a producer is
+        blocked (capacity reached by racing getters at the same
+        timestamp), the head is that producer's pending item — reporting
+        ``None`` there would stall a batch drain one message early and
+        reorder it behind the next intake round.  The pending item is
+        *not* consumed and its producer stays blocked.
         """
-        return self._items[0] if self._items else None
+        if self._items:
+            return self._items[0]
+        if self._putters:
+            return self._putters[0][1]
+        return None
 
     def __len__(self) -> int:
         return len(self._items)

@@ -35,6 +35,9 @@ SCALING_KNOBS = [
     "finish_coalesce_limit",
     "finish_coalesce_window",
     "speculative_kickoff",
+    "decentralized_check_scatter",
+    "check_coalesce_limit",
+    "check_coalesce_window",
 ]
 
 
@@ -77,7 +80,8 @@ def test_documented_defaults_match_config():
     for knob in ("maestro_shards", "master_cores", "submission_batch",
                  "retire_pipeline_depth", "shard_inbox_entries",
                  "td_cache_entries", "td_prefetch_depth",
-                 "finish_coalesce_limit", "finish_coalesce_window"):
+                 "finish_coalesce_limit", "finish_coalesce_window",
+                 "check_coalesce_limit", "check_coalesce_window"):
         row = re.search(
             rf"^\|\s*`{knob}`\s*\|\s*([^|]+)\|", text, flags=re.MULTILINE
         )
@@ -101,11 +105,12 @@ def test_entry_points_link_architecture_md():
     assert "ARCHITECTURE.md" in (REPO / "ROADMAP.md").read_text()
 
 
-def test_architecture_names_the_five_invariants():
+def test_architecture_names_the_six_invariants():
     text = _doc_text().lower()
     for phrase in ("merge-unit ordering", "check-scatter per-address",
                    "finish-order per-address", "coherence-by-retirement",
-                   "coalesced-resolve ordering"):
+                   "coalesced-resolve ordering",
+                   "decentralized-scatter re-sequencing"):
         assert phrase in text, f"invariant {phrase!r} missing"
 
 

@@ -197,6 +197,38 @@ def test_locality_stealing_suppresses_post_forward_ping_pong():
     assert locality.makespan <= ticket.makespan * 1.05
 
 
+def test_locality_stealing_never_starves_a_worker_starved_machine():
+    """The 8-shard/2-worker regression: with fewer worker cores than
+    shards, six shards own no cores at all — every task homed there must
+    be stolen — and the ticket-deferral politeness between the two
+    worker-owning shards only starved their claimed cores, making
+    locality stealing *slower* than the plain ticket policy it layers
+    on.  The pool-occupancy cutoff disables deferral on such machines,
+    so locality stealing must now be no worse than ``locality_stealing=
+    False`` on the exact configuration that regressed."""
+    from repro.config import BUS_MODEL_FITTED
+
+    trace = random_trace(
+        400, n_addresses=96, max_params=6, seed=7, mean_exec=4000, mean_memory=0
+    )
+    graph = build_task_graph(trace)
+    kw = dict(
+        workers=2,
+        maestro_shards=8,
+        master_cores=4,
+        submission_batch=8,
+        retire_pipeline_depth=4,
+        memory_contention=False,
+        bus_model=BUS_MODEL_FITTED,
+    )
+    ticket = run_trace(trace, SystemConfig(locality_stealing=False, **kw))
+    locality = run_trace(trace, SystemConfig(locality_stealing=True, **kw))
+    for result in (ticket, locality):
+        assert result.verify_against(graph) == []
+        assert _retired_tids(result) == set(range(len(trace)))
+    assert locality.makespan <= ticket.makespan
+
+
 def test_fast_path_reports_ownership_notices():
     """Every remote fast dispatch posts exactly one non-blocking
     ownership notice to the task's home shard."""

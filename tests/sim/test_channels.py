@@ -205,6 +205,118 @@ def test_snapshot_and_len():
     assert not fifo.is_empty
 
 
+def test_peek_on_empty_fifo_consumes_nothing():
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=4)
+    assert fifo.peek() is None
+    assert fifo.peek() is None  # repeatable: a wire tap, not a pop
+    assert fifo.is_empty
+    fifo.try_put("x")
+    assert fifo.peek() == "x"
+    assert fifo.peek() == "x"
+    assert len(fifo) == 1  # still there
+
+
+def test_peek_then_get_ordering():
+    """peek must show exactly what the next try_get delivers while a
+    zero-latency drain (the coalescing intake pattern: peek, decide,
+    pop) empties a queue with producers still blocked on it."""
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1)
+    resumed = []
+
+    def producer(tag):
+        yield fifo.put(tag)
+        resumed.append(tag)
+
+    drained = []
+
+    def drain():
+        yield sim.timeout(10)
+        # p0 filled the single slot; p1/p2 are blocked with pending items.
+        assert resumed == ["p0"]
+        while True:
+            head = fifo.peek()
+            if head is None:
+                break
+            item = fifo.try_get()
+            assert item == head  # peek promised this exact item
+            drained.append(item)
+        yield sim.timeout(10)  # let the released producers finish
+        assert resumed == ["p0", "p1", "p2"]
+        assert fifo.peek() is None and fifo.try_get() is None
+
+    sim.process(producer("p0"))
+    sim.process(producer("p1"))
+    sim.process(producer("p2"))
+    sim.process(drain())
+    sim.run()
+    assert drained == ["p0", "p1", "p2"]
+
+
+def test_peek_sees_a_blocked_producers_pending_item():
+    """White-box pin of the defensive empty-queue-with-blocked-producer
+    state that try_get/_arm_get also bypass-guard: peek must report the
+    pending item the next get would deliver — ``None`` would stall a
+    batch drain one message early — without consuming it or resuming
+    its producer."""
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1)
+    resumed = []
+
+    def producer():
+        yield fifo.put("pending")
+        resumed.append("resumed")
+
+    def prober():
+        yield sim.timeout(10)
+        assert len(fifo._putters) == 1
+        fifo._items.clear()  # manufacture the defensive state directly
+        assert fifo.peek() == "pending"
+        assert fifo.peek() == "pending"  # still not consumed
+        yield sim.timeout(10)
+        assert resumed == []  # a wire tap never resumes the producer
+        assert fifo.try_get() == "pending"
+        yield sim.timeout(10)
+        assert resumed == ["resumed"]
+
+    fifo.try_put("filler")  # fill the slot so the producer blocks
+    sim.process(producer())
+    sim.process(prober())
+    sim.run()
+    assert resumed == ["resumed"]
+
+
+def test_peek_never_unblocks_a_waiting_producer():
+    """On a full queue with a blocked producer, peek shows the real head
+    (not the pending item) and leaves the producer blocked."""
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1)
+    resumed = []
+
+    def producer(tag):
+        yield fifo.put(tag)
+        resumed.append(tag)
+
+    def prober():
+        yield sim.timeout(10)
+        assert resumed == ["p0"]
+        assert fifo.peek() == "p0"
+        yield sim.timeout(10)
+        assert resumed == ["p0"]  # peek alone never unblocked p1
+        assert fifo.try_get() == "p0"  # pops p0, promotes p1's pending item
+        assert fifo.peek() == "p1"
+        yield sim.timeout(10)
+        assert resumed == ["p0", "p1"]
+        assert fifo.try_get() == "p1"
+
+    sim.process(producer("p0"))
+    sim.process(producer("p1"))
+    sim.process(prober())
+    sim.run()
+    assert resumed == ["p0", "p1"]
+
+
 def test_occupancy_statistics():
     sim = Simulator()
     fifo = Fifo(sim, capacity=4, track_occupancy=True)
@@ -225,3 +337,54 @@ def test_occupancy_statistics():
     assert fifo.stat.max_level == 2
     # Level was 1 for t in [0,100), 2 for [100,200), 0 after.
     assert fifo.stat.mean(until=200) == pytest.approx(1.5)
+
+
+def test_occupancy_accounting_under_zero_latency_drain():
+    """A peek/try_get batch drain at a single timestamp (the coalescing
+    intake) leaves the time-weighted occupancy exact: the drained items
+    had zero residence, so they peak max_level but contribute no area."""
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=4, track_occupancy=True)
+    for i in range(3):
+        assert fifo.try_put(i)
+    assert fifo.stat.max_level == 3
+    drained = []
+    while fifo.peek() is not None:
+        drained.append(fifo.try_get())
+    assert drained == [0, 1, 2]
+
+    def clock():
+        yield sim.timeout(100)
+
+    sim.process(clock())
+    sim.run()
+    assert fifo.stat.mean() == pytest.approx(0.0)
+    assert fifo.stat.histogram() == {0: pytest.approx(1.0)}
+
+
+def test_occupancy_accounting_through_producer_promotion():
+    """try_get's pop-and-promote of a blocked producer is one atomic
+    level transition: the queue never dips below capacity during the
+    swap, so the occupancy integral sees an unbroken full period."""
+    sim = Simulator()
+    fifo = Fifo(sim, capacity=1, track_occupancy=True)
+
+    def producer(tag):
+        yield fifo.put(tag)
+
+    sim.process(producer("p0"))
+    sim.process(producer("p1"))
+
+    def consumer():
+        yield sim.timeout(50)
+        assert fifo.try_get() == "p0"  # promotes p1's pending item
+        assert len(fifo) == 1
+        yield sim.timeout(50)
+        assert fifo.try_get() == "p1"
+
+    sim.process(consumer())
+    sim.run()
+    assert fifo.stat.max_level == 1
+    # Full for the whole [0, 100) span: the swap at t=50 never emptied it.
+    assert fifo.stat.mean(until=100) == pytest.approx(1.0)
+    assert fifo.stat.histogram(until=100) == {1: pytest.approx(1.0)}
