@@ -1,0 +1,226 @@
+"""Simulation-kernel throughput: the timing-wheel rebuild, measured.
+
+PR 7 rebuilt the discrete-event core around a calendar-queue/timing-wheel
+scheduler (same-timestamp ready ring, per-timestamp calendar buckets,
+far-future overflow heap) and made the whole waitable hot path
+allocation-light (interned Timeout/Put/Get/wait/acquire objects, cached
+resume callbacks, closure-free ``call_at``, lazy deadlock descriptions).
+Both kernels stay in-tree behind ``SystemConfig.sim_kernel`` and are
+cycle-for-cycle identical (``tests/integration/test_kernel_differential``),
+so this bench is purely about host wall-clock:
+
+* **micro** — a 16-pair producer/consumer mesh of FIFO handoffs plus
+  short timeouts: raw scheduler throughput with near-trivial process
+  bodies.  This is where the wheel's zero-heap ready ring shows up
+  undiluted.
+* **machine** — the hazard-dense 1200-task full-PR 6-stack machine (4
+  shards x 8 workers, 4 masters x batch 8, retire depth 4, fast
+  dispatch, staged resolve, decentralized coalescing check path): what a
+  user actually runs.  Here the modelled hardware bodies (generator
+  ``send`` frames) bound the ceiling, so the kernel gap narrows.
+
+Honest context (measured on the dev machine, pinned loosely below): the
+PR 6 *seed* kernel did ~0.72M micro events/sec and ~0.34M machine
+events/sec.  The allocation-light process layer — shared by both
+kernels — plus the wheel scheduler reach ~2.5x seed on micro and ~1.5x
+seed on the machine; the issue's 10x aspiration is out of reach in pure
+Python because ``generator.send`` plus the modelled hardware bodies are
+the floor, not the scheduler.  The assertions pin the wheel/heap ratio
+(both measured live) with CI-safe slack.
+
+Reproduce from the CLI::
+
+    python -m repro run random --tasks 1200 --addresses 96 --shards 4 \
+        --masters 8 --batch 8 --retire-depth 4 --td-cache 64 --fast-path \
+        --coalesce 8 --spec-kickoff --check-scatter --check-coalesce 8 \
+        --no-contention --profile [--kernel heap]
+
+The machine-readable numbers land in ``BENCH_sim_kernel.json`` at the
+repository root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import FULL, report
+
+from repro.analysis import render_table
+from repro.config import BUS_MODEL_FITTED, SystemConfig
+from repro.machine import run_trace
+from repro.sim import Fifo, Simulator
+from repro.traces import random_trace
+
+N_TASKS = 3000 if FULL else 1200
+MICRO_EVENTS = 1_200_000 if FULL else 400_000
+MICRO_PAIRS = 16
+ROUNDS = 3 if FULL else 2
+
+JSON_PATH = Path(__file__).parent.parent / "BENCH_sim_kernel.json"
+
+
+def _micro(kernel: str) -> dict:
+    """Raw scheduler throughput: FIFO handoff mesh + short timeouts."""
+    sim = Simulator(kernel=kernel)
+    per = MICRO_EVENTS // MICRO_PAIRS
+
+    def producer(f):
+        for i in range(per):
+            yield f.put(i)
+
+    def consumer(f):
+        for _ in range(per):
+            yield f.get()
+            yield sim.timeout(2)
+
+    for p in range(MICRO_PAIRS):
+        f = Fifo(sim, capacity=4)
+        sim.process(producer(f), name=f"p{p}")
+        sim.process(consumer(f), name=f"c{p}")
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "events": sim.events_processed,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(sim.events_processed / wall),
+        "peak_pending": sim.peak_pending,
+    }
+
+
+def _machine(kernel: str, trace) -> dict:
+    """The hazard-dense full-stack machine on one kernel."""
+    cfg = SystemConfig(
+        workers=8,
+        maestro_shards=4,
+        master_cores=8,
+        submission_batch=8,
+        retire_pipeline_depth=4,
+        td_cache_entries=64,
+        td_prefetch_depth=2,
+        kickoff_fast_path=True,
+        finish_coalesce_limit=8,
+        speculative_kickoff=True,
+        decentralized_check_scatter=True,
+        check_coalesce_limit=8,
+        memory_contention=False,
+        bus_model=BUS_MODEL_FITTED,
+        sim_kernel=kernel,
+    )
+    result = run_trace(trace, cfg)
+    sim = dict(result.stats["sim"])
+    sim["makespan_ps"] = result.makespan
+    sim["tasks"] = len(result.records)
+    sim["tasks_per_sec"] = (
+        round(len(result.records) / sim["wall_seconds"])
+        if sim["wall_seconds"] > 0
+        else 0
+    )
+    return sim
+
+
+def _best(fn, *args):
+    """Best of ROUNDS runs (events/sec is the figure of merit)."""
+    best = None
+    for _ in range(ROUNDS):
+        r = fn(*args)
+        if best is None or r["events_per_sec"] > best["events_per_sec"]:
+            best = r
+    return best
+
+
+def _experiment():
+    trace = random_trace(
+        N_TASKS,
+        n_addresses=96,
+        max_params=6,
+        seed=7,
+        mean_exec=4000,
+        mean_memory=0,
+        name="random-hazard-dense",
+    )
+    out = {}
+    for kernel in ("heap", "wheel"):
+        out[kernel] = {
+            "micro": _best(_micro, kernel),
+            "machine": _best(_machine, kernel, trace),
+        }
+    return out
+
+
+def test_sim_kernel_throughput(benchmark):
+    data = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    micro_ratio = (
+        data["wheel"]["micro"]["events_per_sec"]
+        / data["heap"]["micro"]["events_per_sec"]
+    )
+    machine_ratio = (
+        data["wheel"]["machine"]["events_per_sec"]
+        / data["heap"]["machine"]["events_per_sec"]
+    )
+    payload = {
+        "trace": "random-hazard-dense",
+        "n_tasks": N_TASKS,
+        "kernels": data,
+        "wheel_over_heap": {
+            "micro": round(micro_ratio, 3),
+            "machine": round(machine_ratio, 3),
+        },
+        # Dev-machine reference points for the PR 6 seed kernel (the
+        # pre-rebuild core, measured at commit 71f9e64): the shared
+        # allocation-light layer + wheel scheduler land ~2.5x (micro) and
+        # ~1.5x (machine) over it.  Informational — the live assertions
+        # compare the two in-tree kernels only.
+        "seed_reference_events_per_sec": {"micro": 722_000, "machine": 339_000},
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = []
+    for kernel in ("heap", "wheel"):
+        for scope in ("micro", "machine"):
+            r = data[kernel][scope]
+            events = r["events"] if scope == "micro" else r["events_processed"]
+            tasks = r.get("tasks_per_sec")
+            rows.append(
+                [
+                    kernel,
+                    scope,
+                    f"{events:,}",
+                    f"{r['wall_seconds']:.3f}",
+                    f"{r['events_per_sec']:,}",
+                    f"{tasks:,}" if tasks is not None else "-",
+                ]
+            )
+    table = render_table(
+        ["kernel", "scope", "events", "wall (s)", "events/s", "tasks/s"],
+        rows,
+        f"Simulation-kernel throughput ({N_TASKS}-task hazard-dense machine "
+        f"+ {MICRO_EVENTS // 1000}k-event micro mesh)",
+    )
+    table += (
+        f"\nwheel/heap: micro {micro_ratio:.2f}x, machine {machine_ratio:.2f}x"
+        f"\nmachine-readable numbers: {JSON_PATH.name}"
+    )
+    report("sim_kernel", table)
+
+    # Identical modelled runs: both kernels fired the same event count
+    # and produced the same makespan (cycle-identity, cheap recheck).
+    assert (
+        data["heap"]["machine"]["events_processed"]
+        == data["wheel"]["machine"]["events_processed"]
+    )
+    assert (
+        data["heap"]["machine"]["makespan_ps"]
+        == data["wheel"]["machine"]["makespan_ps"]
+    )
+    # The wheel must beat the heap where scheduling dominates (measured
+    # ~1.8x; 1.3 leaves CI-noise slack) and at least hold serve on the
+    # machine (measured ~1.2x).
+    assert micro_ratio >= 1.3, f"micro wheel/heap only {micro_ratio:.2f}x"
+    assert machine_ratio >= 1.02, f"machine wheel/heap only {machine_ratio:.2f}x"
+    # Absolute floors, far under dev-machine numbers (1.8M/0.5M events/s)
+    # but far over the seed kernel on a comparable runner — a regression
+    # to seed-style per-event allocation trips these on any machine.
+    assert data["wheel"]["micro"]["events_per_sec"] > 400_000
+    assert data["wheel"]["machine"]["events_per_sec"] > 120_000

@@ -213,6 +213,8 @@ def _config_from(
         from .sim import NS
 
         overrides["check_coalesce_window"] = args.check_coalesce_window * NS
+    if getattr(args, "kernel", None) is not None:
+        overrides["sim_kernel"] = args.kernel
     try:
         return SystemConfig(**overrides)
     except ValueError as exc:
@@ -241,6 +243,11 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-prep", action="store_true", help="zero master task-prep time")
     p.add_argument("--depth", type=int, help="Task Controller buffering depth")
     p.add_argument("--restricted", action="store_true", help="original-Nexus limits")
+    p.add_argument(
+        "--kernel", choices=("heap", "wheel"), default=None,
+        help="event-scheduler implementation (wheel = default fast kernel, "
+        "heap = original baseline; results are identical)",
+    )
 
 
 def _add_dispatch_args(p: argparse.ArgumentParser) -> None:
@@ -325,6 +332,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(trace.describe())
     result = run_trace(trace, cfg)
     print(result.summary())
+    if getattr(args, "profile", False):
+        prof = result.stats["sim"]
+        print(
+            f"kernel profile [{prof['kernel']}]: "
+            f"{prof['wall_seconds']:.3f}s wall, "
+            f"{prof['events_processed']:,} events "
+            f"({prof['events_per_sec']:,}/s), "
+            f"peak pending {prof['peak_pending_events']:,}"
+        )
     if args.verify:
         graph = build_task_graph(trace)
         problems = result.verify_against(graph)
@@ -902,6 +918,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     _add_check_args(p_run)
     p_run.add_argument("--verify", action="store_true", help="check schedule legality")
     p_run.add_argument("--bottleneck", action="store_true", help="attribute the bottleneck")
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="report host-side kernel performance (wall-clock, events "
+        "processed, events/sec, peak pending events)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser(

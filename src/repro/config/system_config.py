@@ -239,6 +239,16 @@ class SystemConfig:
     #: simulation speed (batch duration stays far below task durations).
     memory_batch_chunks: int = 64
 
+    # ---- simulation kernel -------------------------------------------------------
+    #: Event-scheduler implementation: ``"wheel"`` (default) is the
+    #: timing-wheel/calendar-queue kernel built for 100k+-task traces;
+    #: ``"heap"`` is the original global-heap kernel, kept runnable for
+    #: cycle-identity differential tests.  Both are bit-for-bit
+    #: deterministic and produce identical schedules — the knob only
+    #: trades wall-clock speed.  A host-side switch: it never changes
+    #: modelled results.
+    sim_kernel: str = "wheel"
+
     # ---- model switches -------------------------------------------------------------
     #: Nexus (non-plus-plus) compatibility mode: refuse tasks with more than
     #: ``max_params_per_td`` parameters and more than ``kickoff_list_size``
@@ -374,6 +384,11 @@ class SystemConfig:
                 "require the sharded Maestro engine (set maestro_shards > 1 "
                 "or force_sharded_maestro); the single-Maestro machine has "
                 "no Check Scatter to decentralize"
+            )
+        if self.sim_kernel not in ("heap", "wheel"):
+            raise ValueError(
+                f"unknown sim_kernel {self.sim_kernel!r}; "
+                "expected 'heap' or 'wheel'"
             )
         if self.locality_stealing and not self.use_sharded_maestro:
             raise ValueError(

@@ -16,6 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from ..config import SystemConfig
@@ -49,7 +50,7 @@ class NexusMachine:
         rules make the default machine deadlock-free).
         """
         cfg = self.config
-        sim = Simulator()
+        sim = Simulator(kernel=cfg.sim_kernel)
         fabric = Fabric(sim, cfg, trace)
         scoreboard = Scoreboard(len(trace))
 
@@ -68,6 +69,7 @@ class NexusMachine:
         for tc in controllers:
             tc.start()
 
+        wall_start = time.perf_counter()
         try:
             sim.run(until=max_time)
         except DeadlockError:
@@ -80,6 +82,7 @@ class NexusMachine:
             if isinstance(exc.original, CapacityError):
                 raise exc.original from exc
             raise
+        wall_seconds = time.perf_counter() - wall_start
 
         if not scoreboard.all_done and max_time is None:
             raise RuntimeError(
@@ -193,6 +196,20 @@ class NexusMachine:
             # counters and (decentralized only) the scatter slice /
             # re-sequencer shape.
             "check": check_stats,
+            # Host-side kernel profile (never affects modelled results):
+            # feeds ``python -m repro run --profile`` and the sim-kernel
+            # bench.
+            "sim": {
+                "kernel": sim.kernel,
+                "wall_seconds": round(wall_seconds, 6),
+                "events_processed": sim.events_processed,
+                "events_per_sec": (
+                    round(sim.events_processed / wall_seconds)
+                    if wall_seconds > 0
+                    else 0
+                ),
+                "peak_pending_events": sim.peak_pending,
+            },
         }
         if fabric.dispatch is not None:
             stats["dispatch"]["fast_dispatch"] = fabric.dispatch.stats()
@@ -269,6 +286,7 @@ class NexusMachine:
                 "decentralized_check_scatter": cfg.decentralized_check_scatter,
                 "check_coalesce_limit": cfg.check_coalesce_limit,
                 "check_coalesce_window": cfg.check_coalesce_window,
+                "sim_kernel": cfg.sim_kernel,
             },
         )
 

@@ -8,7 +8,8 @@ Public API::
 See :mod:`repro.sim.core` for the execution model.
 """
 
-from .core import Process, Simulator, Timeout, Waitable
+from .core import (HeapSimulator, Process, Simulator, Timeout, Waitable,
+                   WheelSimulator)
 from .channels import Fifo
 from .errors import DeadlockError, ProcessError, SimError
 from .stats import BusyTracker, LatencyBreakdown, LevelStat, OccupancyStat, Sampler
@@ -17,6 +18,8 @@ from .time_units import MS, NS, PS, S, US, cycles, fmt_time, ns, us
 
 __all__ = [
     "Simulator",
+    "HeapSimulator",
+    "WheelSimulator",
     "Process",
     "Timeout",
     "Waitable",

@@ -21,11 +21,19 @@ __all__ = ["Fifo", "Put", "Get"]
 
 
 class Put(Waitable):
-    """Waitable put; completes when the item has been accepted."""
+    """Waitable put; completes when the item has been accepted.
+
+    One instance is interned per :class:`Fifo` and reused by every
+    ``fifo.put(...)`` call: the pending item is carried in :attr:`item`
+    until the waitable is armed, which happens at the yield point — i.e.
+    before the producing process can possibly issue another ``put`` on the
+    same FIFO.  Consequently a ``Put`` must be yielded immediately, never
+    stored for later (the process API has no other idiom).
+    """
 
     __slots__ = ("fifo", "item")
 
-    def __init__(self, fifo: "Fifo", item: Any):
+    def __init__(self, fifo: "Fifo", item: Any = None):
         self.fifo = fifo
         self.item = item
 
@@ -33,11 +41,16 @@ class Put(Waitable):
         return f"put({self.fifo.name})"
 
     def _arm(self, sim: Simulator, proc: Process) -> None:
-        self.fifo._arm_put(sim, proc, self.item)
+        item = self.item
+        self.item = None  # do not pin the payload beyond the handoff
+        self.fifo._arm_put(sim, proc, item)
 
 
 class Get(Waitable):
-    """Waitable get; completes with the item at the head of the FIFO."""
+    """Waitable get; completes with the item at the head of the FIFO.
+
+    Stateless, so one instance per :class:`Fifo` serves every consumer.
+    """
 
     __slots__ = ("fifo",)
 
@@ -58,7 +71,8 @@ class Fifo:
     tests, never for the modelled hardware lists).
     """
 
-    __slots__ = ("name", "capacity", "_items", "_getters", "_putters", "stat", "_sim")
+    __slots__ = ("name", "capacity", "_items", "_getters", "_putters", "stat",
+                 "_sim", "_put", "_get")
 
     def __init__(
         self,
@@ -78,16 +92,25 @@ class Fifo:
         # LevelStat (a histogram-keeping OccupancyStat) so tracked FIFOs
         # can answer both "mean occupancy" and "time at each depth".
         self.stat = LevelStat(sim) if track_occupancy else None
+        # Interned waitables: put/get are the hottest calls in the machine
+        # and each used to allocate a fresh object per operation.
+        self._put = Put(self)
+        self._get = Get(self)
 
     # -- public API ---------------------------------------------------------------
 
     def put(self, item: Any) -> Put:
-        """Waitable that stores ``item`` (blocks while full)."""
-        return Put(self, item)
+        """Waitable that stores ``item`` (blocks while full).
+
+        The returned waitable is interned and must be yielded immediately.
+        """
+        put = self._put
+        put.item = item
+        return put
 
     def get(self) -> Get:
         """Waitable that removes and returns the head item (blocks while empty)."""
-        return Get(self)
+        return self._get
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False if the FIFO is full.
@@ -97,7 +120,7 @@ class Fifo:
         """
         if self._getters:
             getter = self._getters.popleft()
-            self._sim._schedule(self._sim.now, getter._resume, item)
+            self._sim._schedule(self._sim.now, getter._resume_cb, item)
             return True
         if self.capacity is not None and len(self._items) >= self.capacity:
             return False
@@ -117,12 +140,12 @@ class Fifo:
             if self._putters:
                 putter, pending = self._putters.popleft()
                 self._items.append(pending)
-                self._sim._schedule(self._sim.now, putter._resume, None)
+                self._sim._schedule(self._sim.now, putter._resume_cb, None)
             self._note()
             return item
         if self._putters:
             putter, pending = self._putters.popleft()
-            self._sim._schedule(self._sim.now, putter._resume, None)
+            self._sim._schedule(self._sim.now, putter._resume_cb, None)
             return pending
         return None
 
@@ -171,13 +194,13 @@ class Fifo:
         if self._getters:
             # Hand the item straight to the first waiting consumer.
             getter = self._getters.popleft()
-            sim._schedule(sim.now, getter._resume, item)
-            sim._schedule(sim.now, proc._resume, None)
+            sim._schedule(sim.now, getter._resume_cb, item)
+            sim._schedule(sim.now, proc._resume_cb, None)
             return
         if self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
             self._note()
-            sim._schedule(sim.now, proc._resume, None)
+            sim._schedule(sim.now, proc._resume_cb, None)
             return
         self._putters.append((proc, item))
 
@@ -189,16 +212,16 @@ class Fifo:
                 # freed slot, preserving FIFO order.
                 putter, pending = self._putters.popleft()
                 self._items.append(pending)
-                sim._schedule(sim.now, putter._resume, None)
+                sim._schedule(sim.now, putter._resume_cb, None)
             self._note()
-            sim._schedule(sim.now, proc._resume, item)
+            sim._schedule(sim.now, proc._resume_cb, item)
             return
         if self._putters:
             # Empty FIFO but a blocked producer exists (capacity reached by
             # racing getters at the same timestamp): take its item directly.
             putter, pending = self._putters.popleft()
-            sim._schedule(sim.now, putter._resume, None)
-            sim._schedule(sim.now, proc._resume, pending)
+            sim._schedule(sim.now, putter._resume_cb, None)
+            sim._schedule(sim.now, proc._resume_cb, pending)
             return
         self._getters.append(proc)
 

@@ -8,15 +8,34 @@ signal waits, resource acquisitions).
 Design notes
 ------------
 * Time is an integer picosecond count (:mod:`repro.sim.time_units`).
-* The event heap is keyed by ``(time, seq)`` where ``seq`` is a global
-  monotonically increasing sequence number, so same-timestamp events fire in
-  the order they were scheduled.  This makes every run bit-for-bit
-  deterministic, which the differential tests rely on.
+* The ordering contract: events fire in ``(time, scheduling order)`` —
+  same-timestamp events fire in the order they were scheduled.  This makes
+  every run bit-for-bit deterministic, which the differential tests rely on.
+* Two schedulers implement that contract behind one API
+  (``Simulator(kernel=...)``):
+
+  - ``"heap"`` — the original single global ``heapq`` keyed by
+    ``(time, seq)``.  Kept runnable so differential tests can assert
+    cycle-identity between kernels.
+  - ``"wheel"`` (default) — a calendar-queue / timing-wheel scheduler built
+    for million-event traces: same-timestamp events (the dominant class:
+    FIFO handoffs, merge/re-sequencer forwards, kick-queue pops) go to a
+    flat *ready ring* drained FIFO with no heap traffic at all;
+    near-future events land in per-timestamp calendar buckets (one heap
+    operation per *distinct* timestamp, not per event); far-future events
+    beyond the sliding ``WHEEL_SPAN`` horizon fall back to a sorted
+    overflow heap and are transferred into buckets window by window as
+    time advances.
+
 * Immediate completions (e.g. a ``put`` into a non-full FIFO) are scheduled
   at the *current* time rather than executed re-entrantly; this mirrors
   SystemC's evaluate/update phases and avoids unbounded recursion.
-* The kernel is intentionally small and allocation-light: the hot loop in a
-  Gaussian-elimination run processes tens of millions of events.
+* The hot loop is allocation-light on purpose: resume callbacks are cached
+  bound methods, ``Simulator.timeout`` interns one :class:`Timeout` per
+  distinct delay, ``call_at`` is closure-free, the ready ring stores flat
+  ``callback, value`` pairs (no per-event tuple), and a process's
+  "waiting on" note is the waitable itself — its description is only
+  rendered if a deadlock report ever needs it.
 """
 
 from __future__ import annotations
@@ -26,10 +45,21 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import DeadlockError, ProcessError
 
-__all__ = ["Simulator", "Process", "Waitable", "Timeout"]
+__all__ = ["Simulator", "HeapSimulator", "WheelSimulator", "Process",
+           "Waitable", "Timeout"]
 
 #: Type of the generator body driving a :class:`Process`.
 ProcessBody = Generator["Waitable", Any, Any]
+
+#: Interned :class:`Timeout` cache bound per simulator; stop growing it
+#: past this many distinct delays (pathological workloads only).
+_TIMEOUT_CACHE_LIMIT = 4096
+
+
+def _invoke0(callback: Callable[[], None]) -> None:
+    """Run-loop adapter for :meth:`Simulator.call_at`: the scheduled entry
+    is ``(_invoke0, callback)``, so no per-call closure is allocated."""
+    callback()
 
 
 class Waitable:
@@ -51,7 +81,12 @@ class Waitable:
 
 
 class Timeout(Waitable):
-    """Resume the process after a fixed delay (possibly zero)."""
+    """Resume the process after a fixed delay (possibly zero).
+
+    Timeouts are immutable and armed immediately at yield time, so one
+    instance per distinct delay can be shared by every process —
+    :meth:`Simulator.timeout` interns them.
+    """
 
     __slots__ = ("delay",)
 
@@ -64,7 +99,7 @@ class Timeout(Waitable):
         return f"timeout({self.delay}ps)"
 
     def _arm(self, sim: "Simulator", proc: "Process") -> None:
-        sim._schedule(sim.now + self.delay, proc._resume, None)
+        sim._schedule(sim.now + self.delay, proc._resume_cb, None)
 
 
 class Process(Waitable):
@@ -74,20 +109,29 @@ class Process(Waitable):
     it to join on its completion and receive its return value.
     """
 
-    __slots__ = ("sim", "name", "_gen", "alive", "result", "_joiners", "_waiting_on")
+    __slots__ = ("sim", "name", "_gen", "_send", "_resume_cb", "alive",
+                 "result", "_joiners", "_waiting_on")
 
     def __init__(self, sim: "Simulator", gen: ProcessBody, name: str):
         self.sim = sim
         self.name = name
         self._gen = gen
+        # Cached per-process callables: the generator's send and this
+        # process's bound resume method.  Scheduling ``proc._resume``
+        # directly would allocate a fresh bound-method object per event.
+        self._send = gen.send
+        self._resume_cb = self._resume
         self.alive = True
         self.result: Any = None
         self._joiners: list[Process] = []
-        self._waiting_on: Optional[str] = None
+        #: The waitable currently blocking this process (``None`` while
+        #: running).  Kept as the object, not a rendered string: deadlock
+        #: reports call ``describe()`` lazily, the hot loop never does.
+        self._waiting_on: Optional[Waitable] = None
         sim._live_processes += 1
         # First step happens as a zero-delay event so that creating a process
         # inside another process does not run its body re-entrantly.
-        sim._schedule(sim.now, self._resume, None)
+        sim._schedule(sim.now, self._resume_cb, None)
 
     # -- driving the generator -------------------------------------------------
 
@@ -96,14 +140,28 @@ class Process(Waitable):
             return
         self._waiting_on = None
         try:
-            target = self._gen.send(value)
+            target = self._send(value)
         except StopIteration as stop:
             self._finish(stop.value)
             return
         except Exception as exc:  # surface with process context
             self._kill()
             raise ProcessError(self.name, self.sim.now, exc) from exc
-        self._wait_for(target)
+        # Inline wait-for: the per-event path avoids an extra frame and
+        # special-cases the dominant waitable (Timeout) entirely.
+        self._waiting_on = target
+        if type(target) is Timeout:
+            sim = self.sim
+            sim._schedule(sim.now + target.delay, self._resume_cb, None)
+        elif isinstance(target, Waitable):
+            target._arm(self.sim, self)
+        else:
+            self._waiting_on = None
+            raise ProcessError(
+                self.name,
+                self.sim.now,
+                TypeError(f"process yielded non-waitable {target!r}"),
+            )
 
     def _throw(self, exc: BaseException) -> None:
         """Inject an exception into the process at its current yield point."""
@@ -137,17 +195,21 @@ class Process(Waitable):
                 self.sim.now,
                 TypeError(f"process yielded non-waitable {target!r}"),
             )
-        self._waiting_on = target.describe()
+        self._waiting_on = target
         target._arm(self.sim, self)
 
     def _finish(self, result: Any) -> None:
         self.alive = False
         self.result = result
         self.sim._live_processes -= 1
+        # Joiner wakeups are batched through the scheduler's same-timestamp
+        # path: on the wheel kernel a burst of same-cycle completions costs
+        # one ready-ring append per joiner, never a heap operation.
+        sim = self.sim
         for joiner in self._joiners:
-            self.sim._schedule(self.sim.now, joiner._resume, result)
+            sim._schedule(sim.now, joiner._resume_cb, result)
         self._joiners.clear()
-        self.sim._forget(self)
+        sim._forget(self)
 
     # -- Waitable protocol (join) ----------------------------------------------
 
@@ -158,7 +220,7 @@ class Process(Waitable):
         if self.alive:
             self._joiners.append(proc)
         else:
-            sim._schedule(sim.now, proc._resume, self.result)
+            sim._schedule(sim.now, proc._resume_cb, self.result)
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "done"
@@ -167,6 +229,12 @@ class Process(Waitable):
 
 class Simulator:
     """Deterministic discrete-event simulator.
+
+    ``Simulator(kernel="wheel")`` (the default) builds the timing-wheel
+    scheduler; ``kernel="heap"`` builds the original global-heap scheduler.
+    Both obey the same ordering contract and are cycle-for-cycle
+    interchangeable (differential-tested), so the knob only trades
+    wall-clock speed.
 
     Typical use::
 
@@ -183,17 +251,33 @@ class Simulator:
 
     __slots__ = (
         "now",
-        "_heap",
         "_seq",
         "_live_processes",
         "_blocked_registry",
         "_dead_registered",
+        "_timeouts",
+        "events_processed",
+        "peak_pending",
     )
 
-    def __init__(self) -> None:
+    #: Scheduler name, overridden per concrete kernel.
+    kernel = "wheel"
+
+    def __new__(cls, kernel: str = "wheel") -> "Simulator":
+        if cls is Simulator:
+            if kernel == "wheel":
+                cls = WheelSimulator
+            elif kernel == "heap":
+                cls = HeapSimulator
+            else:
+                raise ValueError(
+                    f"unknown sim kernel {kernel!r}; expected 'heap' or 'wheel'"
+                )
+        return object.__new__(cls)
+
+    def __init__(self, kernel: str = "wheel") -> None:
         #: Current simulation time in picoseconds.
         self.now: int = 0
-        self._heap: list[tuple[int, int, Callable[..., None], Any]] = []
         self._seq: int = 0
         self._live_processes: int = 0
         # Registry of live processes, for deadlock reports.  Dead processes
@@ -201,16 +285,31 @@ class Simulator:
         # accumulate across a long run or pollute later deadlock reports.
         self._blocked_registry: list[Process] = []
         self._dead_registered: int = 0
+        self._timeouts: dict[int, Timeout] = {}
+        #: Events fired so far (callbacks invoked), for run profiling.
+        self.events_processed: int = 0
+        #: High-water mark of scheduled-but-unfired events.
+        self.peak_pending: int = 0
 
     # -- scheduling -------------------------------------------------------------
 
     def _schedule(self, when: int, callback: Callable[[Any], None], value: Any) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, callback, value))
+        raise NotImplementedError  # pragma: no cover
 
     def timeout(self, delay: int) -> Timeout:
-        """Waitable that completes ``delay`` picoseconds from now."""
-        return Timeout(delay)
+        """Waitable that completes ``delay`` picoseconds from now.
+
+        Timeouts are interned per distinct delay: the hot loops yield the
+        same few delays (cycle times, hop/access latencies) millions of
+        times, and re-validating/allocating per yield was pure churn.
+        """
+        cache = self._timeouts
+        t = cache.get(delay)
+        if t is None:
+            t = Timeout(delay)
+            if len(cache) < _TIMEOUT_CACHE_LIMIT:
+                cache[delay] = t
+        return t
 
     def process(self, gen: ProcessBody, name: str = "proc") -> Process:
         """Register a generator as a simulation process (starts at t=now)."""
@@ -226,12 +325,69 @@ class Simulator:
             self._dead_registered = 0
 
     def call_at(self, when: int, callback: Callable[[], None]) -> None:
-        """Schedule a plain callback (no process) at an absolute time."""
+        """Schedule a plain callback (no process) at an absolute time.
+
+        Closure-free: the callback rides as the event's value and a shared
+        module-level adapter invokes it, so ``call_at`` allocates nothing
+        per call.
+        """
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
-        self._schedule(when, lambda _: callback(), None)
+        self._schedule(when, _invoke0, callback)
 
     # -- running ----------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the pending events drain or ``until`` (inclusive).
+
+        Returns the final simulation time.  Raises :class:`DeadlockError`
+        if events drain while processes are still blocked.  Implemented by
+        each concrete kernel.
+        """
+        raise NotImplementedError  # pragma: no cover
+
+    def run_all(self, processes: Iterable[ProcessBody]) -> int:
+        """Convenience: register each generator as a process, then run."""
+        for i, gen in enumerate(processes):
+            self.process(gen, name=f"proc{i}")
+        return self.run()
+
+    def _blocked_report(self) -> list[tuple[str, str]]:
+        return [
+            (p.name, p._waiting_on.describe() if p._waiting_on is not None
+             else "<unknown>")
+            for p in self._blocked_registry
+            if p.alive
+        ]
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled (for tests/diagnostics)."""
+        raise NotImplementedError  # pragma: no cover
+
+
+class HeapSimulator(Simulator):
+    """The original kernel: one global ``heapq`` keyed by ``(time, seq)``.
+
+    Kept as the differential baseline (``kernel="heap"``): the wheel kernel
+    must replay every schedule cycle-for-cycle against this one.
+    """
+
+    __slots__ = ("_heap",)
+
+    kernel = "heap"
+
+    def __init__(self, kernel: str = "heap") -> None:
+        super().__init__(kernel)
+        self._heap: list[tuple[int, int, Callable[..., None], Any]] = []
+
+    def _schedule(self, when: int, callback: Callable[[Any], None], value: Any) -> None:
+        self._seq += 1
+        heap = self._heap
+        heapq.heappush(heap, (when, self._seq, callback, value))
+        pending = len(heap)
+        if pending > self.peak_pending:
+            self.peak_pending = pending
 
     def run(self, until: Optional[int] = None) -> int:
         """Run until the event heap drains or ``until`` (inclusive) is reached.
@@ -241,31 +397,164 @@ class Simulator:
         """
         heap = self._heap
         pop = heapq.heappop
-        while heap:
-            when, _seq, callback, value = pop(heap)
-            if until is not None and when > until:
-                # Put it back; the caller may continue the run later.
-                heapq.heappush(heap, (when, _seq, callback, value))
-                self.now = until
-                return self.now
-            self.now = when
-            callback(value)
+        fired = 0
+        try:
+            while heap:
+                event = pop(heap)
+                when = event[0]
+                if until is not None and when > until:
+                    # Put it back; the caller may continue the run later.
+                    heapq.heappush(heap, event)
+                    self.now = until
+                    return self.now
+                self.now = when
+                fired += 1
+                event[2](event[3])
+        finally:
+            self.events_processed += fired
         if self._live_processes > 0:
-            blocked = [
-                (p.name, p._waiting_on or "<unknown>")
-                for p in self._blocked_registry
-                if p.alive
-            ]
-            raise DeadlockError(blocked)
+            raise DeadlockError(self._blocked_report())
         return self.now
-
-    def run_all(self, processes: Iterable[ProcessBody]) -> int:
-        """Convenience: register each generator as a process, then run."""
-        for i, gen in enumerate(processes):
-            self.process(gen, name=f"proc{i}")
-        return self.run()
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently scheduled (for tests/diagnostics)."""
         return len(self._heap)
+
+
+class WheelSimulator(Simulator):
+    """Calendar-queue / timing-wheel kernel (``kernel="wheel"``).
+
+    Three tiers, cheapest first:
+
+    * **ready ring** — flat list of ``callback, value`` pairs for events at
+      the current timestamp, drained FIFO.  Zero-delay scheduling is two
+      list appends; no tuple, no heap, no comparison.
+    * **calendar buckets** — ``{time: [callback, value, ...]}`` for events
+      before the sliding horizon (``now`` + :data:`WHEEL_SPAN`), plus a
+      small heap of *distinct* bucket times.  Within a bucket, list order
+      is scheduling order, so the ``(time, seq)`` contract holds with no
+      sequence numbers at all.
+    * **overflow heap** — ``(time, seq, callback, value)`` tuples for
+      far-future events beyond the horizon; transferred into fresh buckets
+      window by window as time advances (sorted by ``(time, seq)``, so
+      transfer preserves scheduling order exactly).
+
+    The horizon only ever grows, and buckets are only created for times
+    below it, so a transferred bucket can never collide with — or reorder
+    against — an existing one.
+    """
+
+    __slots__ = ("_ready", "_buckets", "_times", "_overflow", "_horizon",
+                 "_pending")
+
+    kernel = "wheel"
+
+    #: Calendar window in picoseconds (~0.26 us).  Block latencies in this
+    #: model are a few ns to a few tens of ns, so virtually every event is
+    #: a ready-ring append or a bucket insert; only long task executions
+    #: ever touch the overflow heap.
+    WHEEL_SPAN = 1 << 18
+
+    def __init__(self, kernel: str = "wheel") -> None:
+        super().__init__(kernel)
+        self._ready: list[Any] = []
+        self._buckets: dict[int, list[Any]] = {}
+        self._times: list[int] = []
+        self._overflow: list[tuple[int, int, Callable[..., None], Any]] = []
+        self._horizon: int = self.WHEEL_SPAN
+        self._pending: int = 0
+
+    def _schedule(self, when: int, callback: Callable[[Any], None], value: Any) -> None:
+        if when <= self.now:
+            # Same-timestamp event: the dominant class.  Flat append onto
+            # the ready ring; fires this timestep, in scheduling order.
+            ready = self._ready
+            ready.append(callback)
+            ready.append(value)
+        elif when < self._horizon:
+            bucket = self._buckets.get(when)
+            if bucket is None:
+                self._buckets[when] = [callback, value]
+                heapq.heappush(self._times, when)
+            else:
+                bucket.append(callback)
+                bucket.append(value)
+        else:
+            self._seq += 1
+            heapq.heappush(self._overflow, (when, self._seq, callback, value))
+        pending = self._pending = self._pending + 1
+        if pending > self.peak_pending:
+            self.peak_pending = pending
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until every tier drains or ``until`` (inclusive) is reached."""
+        ready = self._ready
+        buckets = self._buckets
+        times = self._times
+        overflow = self._overflow
+        fired = 0
+        if until is not None and until < self.now and (
+            ready or times or overflow
+        ):
+            # Degenerate backwards pause, mirrored from the heap kernel:
+            # nothing at a future time may fire.
+            self.now = until
+            return until
+        try:
+            while True:
+                if ready:
+                    # Drain the ring FIFO.  Callbacks may append more
+                    # same-timestamp events; the index chases the growing
+                    # tail.  On an escaping exception the consumed prefix
+                    # is removed so a resumed run never re-fires it.
+                    i = 0
+                    try:
+                        while i < len(ready):
+                            callback = ready[i]
+                            value = ready[i + 1]
+                            i += 2
+                            callback(value)
+                    finally:
+                        n = i >> 1
+                        del ready[:i]
+                        self._pending -= n
+                        fired += n
+                # Advance time: bucket times always precede the overflow
+                # horizon, so the next timestamp is the bucket-heap head,
+                # or the overflow head once the calendar is empty.
+                if times:
+                    t = times[0]
+                elif overflow:
+                    t = overflow[0][0]
+                else:
+                    break
+                if until is not None and t > until:
+                    self.now = until
+                    return self.now
+                self.now = t
+                # Slide the horizon and pull the next overflow window into
+                # fresh calendar buckets, in (time, seq) order.
+                horizon = t + self.WHEEL_SPAN
+                if horizon > self._horizon:
+                    self._horizon = horizon
+                    while overflow and overflow[0][0] < horizon:
+                        when, _seq, callback, value = heapq.heappop(overflow)
+                        bucket = buckets.get(when)
+                        if bucket is None:
+                            buckets[when] = [callback, value]
+                            heapq.heappush(times, when)
+                        else:
+                            bucket.append(callback)
+                            bucket.append(value)
+                heapq.heappop(times)
+                # The bucket seeds the ready ring for the new timestamp.
+                ready.extend(buckets.pop(t))
+        finally:
+            self.events_processed += fired
+        if self._live_processes > 0:
+            raise DeadlockError(self._blocked_report())
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return self._pending

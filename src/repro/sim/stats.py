@@ -65,10 +65,21 @@ class LevelStat(OccupancyStat):
         self._time_at: dict[int, int] = {}
 
     def record(self, level: int) -> None:
-        dt = self._sim.now - self._last_change
+        # Fully inlined (no super() call): this runs once per FIFO
+        # operation on every tracked hardware list, so it is one of the
+        # hottest non-kernel functions in a run.  The math is identical to
+        # OccupancyStat.record plus the histogram bucket.
+        now = self._sim.now
+        prev = self._level
+        dt = now - self._last_change
         if dt:
-            self._time_at[self._level] = self._time_at.get(self._level, 0) + dt
-        super().record(level)
+            time_at = self._time_at
+            time_at[prev] = time_at.get(prev, 0) + dt
+            self._area += prev * dt
+            self._last_change = now
+        self._level = level
+        if level > self.max_level:
+            self.max_level = level
 
     def histogram(self, until: Optional[int] = None) -> dict[int, float]:
         """``{level: fraction of time spent at that level}`` from creation

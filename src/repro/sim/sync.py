@@ -30,7 +30,7 @@ class _SignalWait(Waitable):
 
     def _arm(self, sim: Simulator, proc: Process) -> None:
         if self.signal._level:
-            sim._schedule(sim.now, proc._resume, None)
+            sim._schedule(sim.now, proc._resume_cb, None)
         else:
             self.signal._waiters.append(proc)
 
@@ -43,13 +43,14 @@ class Signal:
     immediately (at the same timestamp).
     """
 
-    __slots__ = ("_sim", "name", "_level", "_waiters")
+    __slots__ = ("_sim", "name", "_level", "_waiters", "_wait")
 
     def __init__(self, sim: Simulator, name: str = "signal"):
         self._sim = sim
         self.name = name
         self._level = False
         self._waiters: Deque[Process] = deque()
+        self._wait = _SignalWait(self)
 
     @property
     def level(self) -> bool:
@@ -61,14 +62,14 @@ class Signal:
         self._level = True
         while self._waiters:
             proc = self._waiters.popleft()
-            self._sim._schedule(self._sim.now, proc._resume, None)
+            self._sim._schedule(self._sim.now, proc._resume_cb, None)
 
     def clear(self) -> None:
         self._level = False
 
     def wait(self) -> _SignalWait:
         """Waitable that completes when the line is (or becomes) high."""
-        return _SignalWait(self)
+        return self._wait
 
     def __repr__(self) -> str:
         return f"<Signal {self.name} {'high' if self._level else 'low'}>"
@@ -85,7 +86,7 @@ class _GateWait(Waitable):
 
     def _arm(self, sim: Simulator, proc: Process) -> None:
         if self.gate._count > 0:
-            sim._schedule(sim.now, proc._resume, None)
+            sim._schedule(sim.now, proc._resume_cb, None)
         else:
             self.gate._waiters.append(proc)
 
@@ -100,13 +101,14 @@ class Gate:
     exactly how the paper's round-robin blocks behave.
     """
 
-    __slots__ = ("_sim", "name", "_count", "_waiters")
+    __slots__ = ("_sim", "name", "_count", "_waiters", "_wait")
 
     def __init__(self, sim: Simulator, name: str = "gate"):
         self._sim = sim
         self.name = name
         self._count = 0
         self._waiters: Deque[Process] = deque()
+        self._wait = _GateWait(self)
 
     @property
     def pending(self) -> int:
@@ -117,7 +119,7 @@ class Gate:
         if self._count == 1:
             while self._waiters:
                 proc = self._waiters.popleft()
-                self._sim._schedule(self._sim.now, proc._resume, None)
+                self._sim._schedule(self._sim.now, proc._resume_cb, None)
 
     def drop_request(self) -> None:
         if self._count <= 0:
@@ -126,7 +128,7 @@ class Gate:
 
     def wait(self) -> _GateWait:
         """Waitable that completes while at least one request is pending."""
-        return _GateWait(self)
+        return self._wait
 
     def __repr__(self) -> str:
         return f"<Gate {self.name} pending={self._count}>"
@@ -148,7 +150,7 @@ class Acquire(Waitable):
         if res._in_use < res.capacity:
             res._in_use += 1
             res._note()
-            sim._schedule(sim.now, proc._resume, None)
+            sim._schedule(sim.now, proc._resume_cb, None)
         else:
             res._waiters.append(proc)
 
@@ -160,7 +162,8 @@ class Resource:
     tasks can access the memory at a given time".
     """
 
-    __slots__ = ("_sim", "name", "capacity", "_in_use", "_waiters", "stat")
+    __slots__ = ("_sim", "name", "capacity", "_in_use", "_waiters", "stat",
+                 "_acquire")
 
     def __init__(
         self,
@@ -179,6 +182,7 @@ class Resource:
         self.stat: Optional[OccupancyStat] = (
             OccupancyStat(sim) if track_occupancy else None
         )
+        self._acquire = Acquire(self)
 
     @property
     def in_use(self) -> int:
@@ -190,7 +194,7 @@ class Resource:
 
     def acquire(self) -> Acquire:
         """Waitable that grants one unit (blocks while all units are busy)."""
-        return Acquire(self)
+        return self._acquire
 
     def release(self) -> None:
         """Return one unit; wakes the longest-waiting acquirer, if any."""
@@ -199,7 +203,7 @@ class Resource:
         if self._waiters:
             proc = self._waiters.popleft()
             # The unit passes directly to the waiter; _in_use is unchanged.
-            self._sim._schedule(self._sim.now, proc._resume, None)
+            self._sim._schedule(self._sim.now, proc._resume_cb, None)
         else:
             self._in_use -= 1
             self._note()

@@ -3,7 +3,8 @@
 These never appear in the paper; they exist to differentially test the
 hardware Dependence Table against the golden software task graph across the
 whole hazard space (RAW / WAR / WAW, shared addresses, wide fan-out,
-parameter-count spills).
+parameter-count spills) — and, since the timing-wheel kernel, to stress the
+simulator itself with 100k+-task traces.
 """
 
 from __future__ import annotations
@@ -16,6 +17,13 @@ __all__ = ["random_trace"]
 
 _ADDR_BASE = 0x2000000
 _SEG_BYTES = 256
+
+#: Tasks per vectorized generation chunk.  Traces up to this size use the
+#: original per-task RNG path (bit-identical streams — the pinned golden
+#: digests replay traces of <= 3000 tasks); larger traces switch to the
+#: chunked vectorized path whose working memory is bounded by
+#: ``chunk x n_addresses`` regardless of the trace length.
+_CHUNK_TASKS = 8192
 
 
 def random_trace(
@@ -31,6 +39,12 @@ def random_trace(
 
     A small pool forces dense RAW/WAR/WAW interactions; ``max_params`` above
     the hardware TD limit exercises dummy tasks.  Deterministic per seed.
+
+    Traces larger than ~8k tasks are built by the streaming chunked
+    generator (vectorized draws, bounded working memory), which produces a
+    different — equally deterministic — stream for the same seed; the
+    small-trace path is byte-identical to the original generator so pinned
+    golden schedules stay valid.
     """
     if n_tasks < 1:
         raise ValueError("need at least one task")
@@ -39,6 +53,25 @@ def random_trace(
     if max_params < 1:
         raise ValueError("need at least one parameter")
     rng = np.random.default_rng(seed)
+    if n_tasks <= _CHUNK_TASKS:
+        tasks = _legacy_tasks(rng, n_tasks, n_addresses, max_params,
+                              mean_exec, mean_memory)
+    else:
+        tasks = []
+        for start in range(0, n_tasks, _CHUNK_TASKS):
+            m = min(_CHUNK_TASKS, n_tasks - start)
+            _chunk_tasks(tasks, rng, start, m, n_addresses, max_params,
+                         mean_exec, mean_memory)
+    return TaskTrace(
+        name,
+        tasks,
+        meta={"pattern": "random", "seed": seed, "n_addresses": n_addresses},
+    )
+
+
+def _legacy_tasks(rng, n_tasks, n_addresses, max_params, mean_exec,
+                  mean_memory) -> list[TraceTask]:
+    """The original per-task generator (RNG stream pinned by goldens)."""
     tasks = []
     for tid in range(n_tasks):
         k = int(rng.integers(1, max_params + 1))
@@ -54,8 +87,49 @@ def random_trace(
         tasks.append(
             TraceTask(tid, 0xF00D, tuple(params), exec_time, read_time, write_time)
         )
-    return TaskTrace(
-        name,
-        tasks,
-        meta={"pattern": "random", "seed": seed, "n_addresses": n_addresses},
-    )
+    return tasks
+
+
+def _chunk_tasks(tasks, rng, start, m, n_addresses, max_params, mean_exec,
+                 mean_memory) -> None:
+    """Append ``m`` tasks built from whole-chunk vectorized draws.
+
+    All randomness for the chunk is drawn in five array operations; the
+    remaining Python loop only assembles the (immutable) descriptor
+    objects.  Sampling without replacement is the argsort-of-random-keys
+    trick: each row's address ids are the indices of its ``k`` smallest
+    keys, uniform over all k-subsets.
+    """
+    max_k = min(max_params, n_addresses)
+    ks = rng.integers(1, max_params + 1, size=m)
+    np.minimum(ks, n_addresses, out=ks)
+    # (m, n_addresses) random keys; argpartition pulls each row's k
+    # smallest in O(n_addresses) — this matrix bounds the generator's
+    # working memory, independent of the total trace length.
+    keys = rng.random((m, n_addresses))
+    addr_rows = np.argpartition(keys, max_k - 1, axis=1)[:, :max_k]
+    modes = rng.integers(0, 3, size=(m, max_k))
+    exec_times = rng.integers(1, 2 * mean_exec + 1, size=m)
+    read_times = rng.integers(0, 2 * mean_memory + 1, size=m)
+    write_times = rng.integers(0, 2 * mean_memory + 1, size=m)
+
+    addr_rows = (_ADDR_BASE + addr_rows * _SEG_BYTES).tolist()
+    modes = modes.tolist()
+    ks = ks.tolist()
+    exec_times = exec_times.tolist()
+    read_times = read_times.tolist()
+    write_times = write_times.tolist()
+    append = tasks.append
+    in_, out, inout = AccessMode.IN, AccessMode.OUT, AccessMode.INOUT
+    mode_of = (in_, out, inout)
+    for i in range(m):
+        k = ks[i]
+        addrs = addr_rows[i]
+        mrow = modes[i]
+        params = tuple(
+            Param(addrs[j], _SEG_BYTES, mode_of[mrow[j]]) for j in range(k)
+        )
+        append(
+            TraceTask(start + i, 0xF00D, params, exec_times[i],
+                      read_times[i], write_times[i])
+        )

@@ -38,6 +38,7 @@ SCALING_KNOBS = [
     "decentralized_check_scatter",
     "check_coalesce_limit",
     "check_coalesce_window",
+    "sim_kernel",
 ]
 
 
@@ -105,13 +106,21 @@ def test_entry_points_link_architecture_md():
     assert "ARCHITECTURE.md" in (REPO / "ROADMAP.md").read_text()
 
 
-def test_architecture_names_the_six_invariants():
+def test_architecture_names_the_seven_invariants():
     text = _doc_text().lower()
     for phrase in ("merge-unit ordering", "check-scatter per-address",
                    "finish-order per-address", "coherence-by-retirement",
                    "coalesced-resolve ordering",
-                   "decentralized-scatter re-sequencing"):
+                   "decentralized-scatter re-sequencing",
+                   "kernel event-ordering determinism"):
         assert phrase in text, f"invariant {phrase!r} missing"
+
+
+def test_architecture_documents_the_simulation_kernel():
+    text = _doc_text().lower()
+    assert "event ordering contract" in text
+    for phrase in ("ready ring", "calendar buckets", "overflow heap"):
+        assert phrase in text, f"kernel structure {phrase!r} missing"
 
 
 def test_architecture_states_the_ownership_notice_rule():

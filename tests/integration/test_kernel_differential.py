@@ -1,0 +1,131 @@
+"""Differential tests for the timing-wheel simulation kernel (PR 7).
+
+The kernel rebuild replaced the global-heap event scheduler with the
+calendar-queue/timing-wheel scheduler and made the waitable hot paths
+allocation-light.  None of that may change a single modelled cycle: the
+wheel kernel must replay the heap kernel's schedule **cycle-for-cycle**
+on the full PR 6 feature stack — every engine (single-Maestro, forced
+sharded at 1 shard, 2 and 4 shards), with the complete knob pile on
+(multi-master batched submission, retire pipelining, fast dispatch,
+staged resolve with coalescing + speculative kick-off, decentralized
+check scatter with check coalescing).
+
+Unlike the PR 1-6 differentials there are no pinned golden constants
+here: both kernels are live in-tree, so each case runs the same machine
+twice and compares complete schedules directly.  (The pinned goldens in
+the sibling differential tests all run on the default wheel kernel, so
+the heap-era constants recorded before this PR independently pin the
+wheel kernel's absolute schedules.)
+"""
+
+import hashlib
+
+import pytest
+
+from repro.config import BUS_MODEL_FITTED, SystemConfig
+from repro.machine import run_trace
+from repro.traces import gaussian_trace, random_trace
+
+
+def _random():
+    return random_trace(
+        400,
+        n_addresses=96,
+        max_params=6,
+        seed=7,
+        mean_exec=4000,
+        mean_memory=0,
+        name="random-hazard-dense",
+    )
+
+
+def _gaussian():
+    return gaussian_trace(28)
+
+
+TRACES = {"random": _random, "gaussian": _gaussian}
+
+ENGINES = {
+    "single": dict(),
+    "forced1": dict(maestro_shards=1, force_sharded_maestro=True),
+    "shards2": dict(maestro_shards=2),
+    "shards4": dict(maestro_shards=4),
+}
+
+
+def _config(engine: str, kernel: str) -> SystemConfig:
+    base = dict(
+        workers=8,
+        master_cores=4,
+        submission_batch=8,
+        memory_contention=False,
+        bus_model=BUS_MODEL_FITTED,
+        sim_kernel=kernel,
+    )
+    if engine != "single":
+        # The full PR 6 stack: retire pipeline + fast dispatch + staged
+        # resolve + decentralized, coalescing check path.
+        base.update(
+            retire_pipeline_depth=4,
+            td_cache_entries=16,
+            td_prefetch_depth=2,
+            kickoff_fast_path=True,
+            finish_coalesce_limit=8,
+            speculative_kickoff=True,
+            decentralized_check_scatter=True,
+            check_coalesce_limit=8,
+        )
+    base.update(ENGINES[engine])
+    return SystemConfig(**base)
+
+
+def _schedule_digest(result) -> str:
+    """Digest of every task's full lifecycle: any single-event drift in
+    ready/dispatch/exec/retire timing or core assignment changes it."""
+    rows = [
+        (r.tid, r.core, r.ready, r.dispatched, r.exec_start, r.completed)
+        for r in result.records
+    ]
+    return hashlib.sha256(repr(rows).encode()).hexdigest()[:16]
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+def test_wheel_kernel_is_cycle_identical_to_heap(trace_name, engine):
+    trace = TRACES[trace_name]()
+    heap = run_trace(trace, _config(engine, "heap"))
+    wheel = run_trace(trace, _config(engine, "wheel"))
+    assert wheel.makespan == heap.makespan
+    assert _schedule_digest(wheel) == _schedule_digest(heap)
+    # The kernels fire the same events, not merely equivalent schedules.
+    assert (
+        wheel.stats["sim"]["events_processed"]
+        == heap.stats["sim"]["events_processed"]
+    )
+    assert wheel.stats["sim"]["kernel"] == "wheel"
+    assert heap.stats["sim"]["kernel"] == "heap"
+
+
+def test_kernel_knob_is_host_side_only():
+    """The knob flows config -> machine -> report, and flipping it leaves
+    every modelled statistic identical (only the host-side sim block and
+    the config note differ)."""
+    trace = _random()
+    heap = run_trace(trace, _config("shards2", "heap"))
+    wheel = run_trace(trace, _config("shards2", "wheel"))
+    assert heap.config_notes["sim_kernel"] == "heap"
+    assert wheel.config_notes["sim_kernel"] == "wheel"
+
+    def modelled(result):
+        stats = dict(result.stats)
+        stats.pop("sim")
+        return repr(stats)
+
+    assert modelled(heap) == modelled(wheel)
+
+
+def test_sim_kernel_validates():
+    with pytest.raises(ValueError, match="sim_kernel"):
+        SystemConfig(sim_kernel="calendar")
+    assert SystemConfig().sim_kernel == "wheel"
+    assert SystemConfig(sim_kernel="heap").sim_kernel == "heap"

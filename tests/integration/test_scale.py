@@ -1,0 +1,56 @@
+"""Large-trace end-to-end runs: the wheel kernel's reason to exist.
+
+The timing-wheel kernel and the streaming trace generator together put
+100k+-task traces in reach; this file pins the CI-sized waypoint — a
+50k-task trace simulated end-to-end on the full sharded machine inside a
+wall-clock budget.  Marked ``slow``: deselect with ``-m 'not slow'`` for
+a quick iteration loop (the tier-1 CI run keeps it).
+"""
+
+import time
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.machine import run_trace
+from repro.traces import random_trace
+
+#: Generous CI budget (seconds) for trace build + 50k-task simulation;
+#: a warm dev machine does it in ~12s, so tripping this means a kernel
+#: or generator performance regression, not a slow runner.
+WALL_BUDGET = 120.0
+
+
+@pytest.mark.slow
+def test_50k_task_trace_completes_within_budget():
+    t0 = time.perf_counter()
+    trace = random_trace(
+        50_000,
+        n_addresses=2048,
+        max_params=4,
+        seed=11,
+        mean_exec=3000,
+        mean_memory=0,
+        name="random-50k",
+    )
+    cfg = SystemConfig(
+        workers=16,
+        maestro_shards=4,
+        master_cores=4,
+        submission_batch=8,
+        memory_contention=False,
+    )
+    result = run_trace(trace, cfg)
+    wall = time.perf_counter() - t0
+
+    assert len(result.records) == 50_000
+    assert all(r.is_complete() for r in result.records)
+    sim = result.stats["sim"]
+    assert sim["kernel"] == "wheel"
+    # ~4.3M events for this trace; a wildly different count means the
+    # machine (not the kernel) changed.
+    assert sim["events_processed"] > 3_000_000
+    assert wall < WALL_BUDGET, (
+        f"50k-task run took {wall:.1f}s (budget {WALL_BUDGET:.0f}s) — "
+        "kernel or generator performance regression"
+    )
