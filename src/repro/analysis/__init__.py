@@ -4,6 +4,7 @@ from .ascii_plot import plot_series, plot_speedup_curves
 from .gantt import gantt_chart, stage_latency_table
 from .metrics import PaperComparison, compare, comparison_row, efficiency
 from .tables import format_value, render_table
+from .trace_export import chrome_trace, write_chrome_trace
 
 __all__ = [
     "plot_series",
@@ -16,4 +17,6 @@ __all__ = [
     "comparison_row",
     "PaperComparison",
     "compare",
+    "chrome_trace",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,230 @@
+"""Chrome trace-event export: render any run in chrome://tracing / Perfetto.
+
+Converts a finished :class:`~repro.machine.results.RunResult` into the
+Chrome trace-event JSON format (the ``traceEvents`` array consumed by
+``chrome://tracing``, `Perfetto <https://ui.perfetto.dev>`_ and
+``speedscope``), giving the simulator Temanejo-style task-graph
+observability:
+
+* one **duration event** (``ph: "X"``) per retired task on its worker
+  core's lane, with nested ``fetch``/``exec``/``writeback`` phase slices
+  — the Task Controller pipeline made visible;
+* one **async span** (``ph: "b"``/``"e"``) per task on its home Maestro
+  shard's lane covering Task Pool residency from ``stored`` to ``ready``
+  — where dependence resolution time goes;
+* one **flow event pair** (``ph: "s"``/``"f"``) per dependence-release
+  edge recorded in the scoreboard's ``released_by`` links, drawn from the
+  releasing task's write-back to the released task's input fetch.
+
+Timestamps are microseconds (the trace-event unit) converted exactly from
+the simulator's integer picoseconds, so exports are byte-stable for a
+given run.  The export only *reads* the run result — it can never
+perturb a schedule.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..machine.results import RunResult
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_PID_WORKERS = 1
+_PID_MAESTRO = 2
+
+_UNSET = -1
+
+
+def _us(t_ps: int) -> float:
+    """Picoseconds to the trace-event microsecond unit (exact to 1 ps)."""
+    return round(t_ps / 1e6, 6)
+
+
+def chrome_trace(result: RunResult) -> Dict[str, Any]:
+    """Build the trace-event JSON document for one finished run.
+
+    Incomplete records (truncated ``max_time`` runs) are skipped; flow
+    events are emitted for every record whose ``released_by`` link names
+    a completed task, so the exported flow set *is* the scoreboard's
+    release-edge set.
+    """
+    shards = int(result.config_notes.get("maestro_shards", 1) or 1)
+    records = {r.tid: r for r in result.records if r.is_complete()}
+
+    events: List[Dict[str, Any]] = []
+    events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID_WORKERS,
+            "tid": 0,
+            "args": {"name": "worker cores"},
+        }
+    )
+    events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID_MAESTRO,
+            "tid": 0,
+            "args": {"name": "task maestro"},
+        }
+    )
+    for core in sorted({r.core for r in records.values() if r.core != _UNSET}):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID_WORKERS,
+                "tid": core,
+                "args": {"name": f"worker {core}"},
+            }
+        )
+    for shard in range(shards):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID_MAESTRO,
+                "tid": shard,
+                "args": {"name": f"shard {shard}" if shards > 1 else "maestro"},
+            }
+        )
+
+    n_flows = 0
+    for tid in sorted(records):
+        r = records[tid]
+        # Task Pool residency on the home shard's lane (async: shard
+        # lanes hold many overlapping tasks, which "X" slices can't).
+        shard = tid % shards
+        events.append(
+            {
+                "ph": "b",
+                "cat": "maestro",
+                "name": f"resolve {tid}",
+                "id": tid,
+                "pid": _PID_MAESTRO,
+                "tid": shard,
+                "ts": _us(r.stored),
+                "args": {"released_by": r.released_by},
+            }
+        )
+        events.append(
+            {
+                "ph": "e",
+                "cat": "maestro",
+                "name": f"resolve {tid}",
+                "id": tid,
+                "pid": _PID_MAESTRO,
+                "tid": shard,
+                "ts": _us(r.ready),
+            }
+        )
+        # The worker-side occupancy: one outer slice per task with the
+        # Task Controller's fetch/exec/writeback phases nested inside.
+        events.append(
+            {
+                "ph": "X",
+                "cat": "task",
+                "name": f"task {tid}",
+                "pid": _PID_WORKERS,
+                "tid": r.core,
+                "ts": _us(r.fetch_start),
+                "dur": _us(r.writeback_end - r.fetch_start),
+                "args": {"tid": tid, "released_by": r.released_by},
+            }
+        )
+        if r.exec_start > r.fetch_start:
+            events.append(
+                {
+                    "ph": "X",
+                    "cat": "phase",
+                    "name": "fetch",
+                    "pid": _PID_WORKERS,
+                    "tid": r.core,
+                    "ts": _us(r.fetch_start),
+                    "dur": _us(r.exec_start - r.fetch_start),
+                }
+            )
+        events.append(
+            {
+                "ph": "X",
+                "cat": "phase",
+                "name": "exec",
+                "pid": _PID_WORKERS,
+                "tid": r.core,
+                "ts": _us(r.exec_start),
+                "dur": _us(r.exec_end - r.exec_start),
+            }
+        )
+        if r.writeback_end > r.exec_end:
+            events.append(
+                {
+                    "ph": "X",
+                    "cat": "phase",
+                    "name": "writeback",
+                    "pid": _PID_WORKERS,
+                    "tid": r.core,
+                    "ts": _us(r.exec_end),
+                    "dur": _us(r.writeback_end - r.exec_end),
+                }
+            )
+        # Dependence-release edge: predecessor write-back -> this fetch.
+        pred = records.get(r.released_by)
+        if pred is not None:
+            events.append(
+                {
+                    "ph": "s",
+                    "cat": "dep",
+                    "name": "release",
+                    "id": tid,
+                    "pid": _PID_WORKERS,
+                    "tid": pred.core,
+                    "ts": _us(pred.writeback_end),
+                }
+            )
+            events.append(
+                {
+                    "ph": "f",
+                    "cat": "dep",
+                    "name": "release",
+                    "id": tid,
+                    "bp": "e",
+                    "pid": _PID_WORKERS,
+                    "tid": r.core,
+                    "ts": _us(r.fetch_start),
+                }
+            )
+            n_flows += 1
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "trace": result.trace_name,
+            "workers": result.workers,
+            "maestro_shards": shards,
+            "makespan_ps": result.makespan,
+            "n_tasks": len(records),
+            "n_dependence_flows": n_flows,
+        },
+    }
+
+
+def write_chrome_trace(result: RunResult, path: str) -> Dict[str, Any]:
+    """Serialize :func:`chrome_trace` to ``path``; returns a summary dict.
+
+    The JSON is written compact with sorted keys, so the same run always
+    produces byte-identical output (the export goldens rely on this).
+    """
+    doc = chrome_trace(result)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return {
+        "path": path,
+        "n_events": len(doc["traceEvents"]),
+        "n_dependence_flows": doc["otherData"]["n_dependence_flows"],
+    }

@@ -14,7 +14,10 @@ Commands
              staged-resolve grid (coalescing x speculative kick-off)
              with ``--resolve`` (fixed single --shards), or the
              decentralized-check grid (scatter decentralization x
-             check coalescing) with ``--check`` (fixed single --shards)
+             check coalescing) with ``--check`` (fixed single --shards),
+             or the efficiency-vs-granularity curve (HW Maestro vs the
+             software-RTS baseline) with ``--efficiency`` on the
+             wait-chain workload
 ``workloads``list the available workload generators
 ``validate`` check a saved trace file for well-formedness and graph stats
 
@@ -49,6 +52,12 @@ Examples::
         --coalesce 8 --spec-kickoff --check --no-contention \
         --json BENCH_check_scaling.json
     python -m repro run cholesky --tiles 6 --workers 8 --bottleneck
+    python -m repro run wait-chain --rows 16 --cols 64 --spin-ns 500 \
+        --trace-out run.trace.json
+    python -m repro run spatial --grid 5 --steps 4 --dims 3 --workers 16
+    python -m repro sweep wait-chain --efficiency --rows 32 --cols 40 \
+        --spin-ns 250,1000,4000,16000,64000 --no-contention \
+        --json BENCH_efficiency.json
 """
 
 from __future__ import annotations
@@ -63,6 +72,7 @@ from .machine import (
     analyze_bottleneck,
     check_scaling_sweep,
     dispatch_latency_sweep,
+    efficiency_sweep,
     master_scaling_sweep,
     resolve_scaling_sweep,
     retire_scaling_sweep,
@@ -83,7 +93,9 @@ from .traces import (
     pipeline_trace,
     random_trace,
     reduction_tree_trace,
+    spatial_decomposition_trace,
     vertical_chains_trace,
+    wait_chain_trace,
 )
 
 __all__ = ["main", "build_workload", "WORKLOADS"]
@@ -130,6 +142,24 @@ WORKLOADS: Dict[str, tuple[Callable[[argparse.Namespace], TaskTrace], str]] = {
         lambda a: pipeline_trace(a.items or 64, a.stages or 4),
         "streaming pipeline (--items, --stages)",
     ),
+    "wait-chain": (
+        lambda a: wait_chain_trace(
+            a.rows or 16,
+            a.cols or 64,
+            k_deps=a.deps or 1,
+            spin_ns=_single_int("spin-ns", a.spin_ns, 1000),
+            seed=a.seed if a.seed is not None else 11,
+        ),
+        "granularity probe: rows x cols wait-chains of spin_ns tasks "
+        "(--rows, --cols, --deps, --spin-ns)",
+    ),
+    "spatial": (
+        lambda a: spatial_decomposition_trace(
+            a.grid or 6, a.steps or 4, dims=a.dims or 2
+        ),
+        "halo-exchange spatial decomposition, 2D/3D Moore neighbourhood "
+        "(--grid, --steps, --dims)",
+    ),
     "random": (
         lambda a: random_trace(
             n_tasks=a.tasks or 1000,
@@ -143,6 +173,19 @@ WORKLOADS: Dict[str, tuple[Callable[[argparse.Namespace], TaskTrace], str]] = {
         "(--tasks, --addresses, --seed)",
     ),
 }
+
+
+def _single_int(flag: str, value, default: int) -> int:
+    """A --flag that is a comma list in sweeps but a single value in run."""
+    if value is None:
+        return default
+    text = str(value)
+    if not text.isdigit() or int(text) < 1:
+        raise SystemExit(
+            f"--{flag} must be a single positive integer here (a comma "
+            f"list is only valid in `sweep --efficiency`); got {value!r}"
+        )
+    return int(text)
 
 
 def build_workload(name: str, args: argparse.Namespace) -> TaskTrace:
@@ -228,11 +271,24 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--tasks", type=int, help="task count (independent)")
     p.add_argument("--size", type=int, help="matrix dimension (gaussian)")
     p.add_argument("--tiles", type=int, help="tile grid side (cholesky/blocked-lu)")
-    p.add_argument("--grid", type=int, help="block grid side (jacobi)")
+    p.add_argument("--grid", type=int, help="block grid side (jacobi/spatial)")
     p.add_argument("--iterations", type=int, help="iterations (jacobi)")
     p.add_argument("--leaves", type=int, help="leaves (reduction)")
     p.add_argument("--items", type=int, help="items (pipeline)")
     p.add_argument("--stages", type=int, help="stages (pipeline)")
+    p.add_argument("--rows", type=int, help="parallel chains (wait-chain)")
+    p.add_argument("--cols", type=int, help="tasks per chain (wait-chain)")
+    p.add_argument(
+        "--deps", type=int,
+        help="dependences on the previous column per task (wait-chain)",
+    )
+    p.add_argument(
+        "--spin-ns", default=None,
+        help="task body length in ns (wait-chain); a comma list with "
+        "`sweep --efficiency` sweeps granularity",
+    )
+    p.add_argument("--steps", type=int, help="timesteps (spatial)")
+    p.add_argument("--dims", type=int, help="grid dimensionality 2|3 (spatial)")
     p.add_argument("--addresses", type=int, help="shared address pool (random)")
     p.add_argument("--seed", type=int, help="trace RNG seed (random)")
 
@@ -444,14 +500,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"merged in program order, "
             f"stall {result.stats['master_stall_ps'] / 1e6:.3g} us total"
         )
+    if getattr(args, "trace_out", None):
+        from .analysis import write_chrome_trace
+
+        info = write_chrome_trace(result, args.trace_out)
+        print(
+            f"chrome trace written to {info['path']} ({info['n_events']} "
+            f"events, {info['n_dependence_flows']} dependence flows); "
+            "load it in chrome://tracing or https://ui.perfetto.dev"
+        )
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    trace = build_workload(args.workload, args)
     grids = [
         f"--{name}"
-        for name in ("resolve", "dispatch", "check")
+        for name in ("resolve", "dispatch", "check", "efficiency")
         if getattr(args, name, False)
     ]
     if len(grids) > 1:
@@ -459,6 +523,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{' and '.join(grids)} select different sweep grids; "
             "pick one (run the sweep twice for both curves)"
         )
+    if getattr(args, "efficiency", False):
+        # Builds its own trace per swept spin time; no shared trace.
+        return _efficiency_sweep(args)
+    trace = build_workload(args.workload, args)
     if getattr(args, "check", False):
         return _check_sweep(trace, args)
     if getattr(args, "resolve", False):
@@ -511,6 +579,68 @@ def _write_json(path: str, payload: dict) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)
     print(f"report written to {path}")
+
+
+def _efficiency_sweep(args: argparse.Namespace) -> int:
+    """Efficiency-vs-granularity curve: HW Maestro against the SW RTS."""
+    if args.workload != "wait-chain":
+        raise SystemExit(
+            "--efficiency sweeps task granularity on the wait-chain probe; "
+            "use `sweep wait-chain --efficiency` (--rows/--cols/--deps set "
+            "the graph shape, --spin-ns the swept spin times)"
+        )
+    spins = _int_values("spin-ns", args.spin_ns or "250,1000,4000,16000,64000")
+    shards = None
+    if args.shards:
+        if "," in str(args.shards):
+            raise SystemExit(
+                "--efficiency sweeps spin time at a fixed machine shape; "
+                "give --shards a single value"
+            )
+        shards = int(args.shards)
+    cfg = _config_from(args, shards=shards)
+    report = efficiency_sweep(
+        spins,
+        cfg,
+        rows=args.rows or 32,
+        cols=args.cols or 40,
+        k_deps=args.deps or 1,
+        seed=args.seed if args.seed is not None else 11,
+    )
+    rows = [
+        [
+            r["spin_ns"],
+            f"{r['hw_makespan_ps'] / 1e9:.4g}",
+            f"{r['sw_makespan_ps'] / 1e9:.4g}",
+            f"{r['hw_efficiency']:.1%}",
+            f"{r['sw_efficiency']:.1%}",
+            round(r["efficiency_ratio"], 2),
+            f"{r['hw_overhead_ns_per_task']:.0f}",
+            f"{r['sw_overhead_ns_per_task']:.0f}",
+        ]
+        for r in report.rows_out()
+    ]
+    print(
+        render_table(
+            [
+                "spin (ns)",
+                "hw makespan (ms)",
+                "sw makespan (ms)",
+                "hw eff",
+                "sw eff",
+                "hw/sw",
+                "hw ovh ns/task",
+                "sw ovh ns/task",
+            ],
+            rows,
+            f"{report.trace_name} @ {cfg.workers} workers",
+        )
+    )
+    print()
+    print(report.plot())
+    if args.json:
+        _write_json(args.json, report.to_json_dict())
+    return 0
 
 
 def _shard_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
@@ -923,6 +1053,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="report host-side kernel performance (wall-clock, events "
         "processed, events/sec, peak pending events)",
     )
+    p_run.add_argument(
+        "--trace-out", default=None,
+        help="write the run as Chrome trace-event JSON (open in "
+        "chrome://tracing or Perfetto) — observe-only, never perturbs "
+        "the schedule",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser(
@@ -976,6 +1112,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="sweep the decentralized-check grid (scatter decentralization "
         "x check coalescing) at a fixed single --shards; --check-coalesce "
         "sets the on-point batch limit",
+    )
+    p_sweep.add_argument(
+        "--efficiency",
+        action="store_true",
+        help="sweep task granularity on the wait-chain probe: parallel "
+        "efficiency of the HW Maestro vs the software-RTS baseline at "
+        "each --spin-ns value (workload must be wait-chain)",
     )
     p_sweep.add_argument("--json", default=None, help="write the sweep report to a JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)

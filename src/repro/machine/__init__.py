@@ -6,6 +6,8 @@ from .results import RunResult, Scoreboard, TaskRecord
 from .sweep import (
     CheckScalingReport,
     DispatchLatencyReport,
+    EfficiencyReport,
+    efficiency_sweep,
     MasterScalingReport,
     ResolveScalingReport,
     RetireScalingReport,
@@ -42,6 +44,8 @@ __all__ = [
     "resolve_scaling_sweep",
     "CheckScalingReport",
     "check_scaling_sweep",
+    "EfficiencyReport",
+    "efficiency_sweep",
     "BottleneckReport",
     "analyze_bottleneck",
 ]

@@ -44,6 +44,18 @@ class RunResult:
         busy = sum(r.exec_end - r.exec_start for r in self.records)
         return busy / (self.makespan * self.workers) if self.makespan else 0.0
 
+    def parallel_efficiency(self) -> float:
+        """Useful work over total worker time: ``sum(exec)/(workers*makespan)``.
+
+        The efficiency-vs-granularity metric: 1.0 means every worker
+        cycle went into task bodies; the gap to 1.0 is task-management
+        overhead plus dependence stalls.  Numerically identical to
+        :meth:`worker_utilization` — named separately because the
+        efficiency curve reads it as "fraction of ideal speedup", not as
+        a core-occupancy statistic.
+        """
+        return self.worker_utilization()
+
     def verify_against(self, graph) -> List[str]:
         """All correctness checks against the golden task graph.
 

@@ -17,6 +17,7 @@ from .gaussian import (
     gaussian_task_count,
     gaussian_trace,
 )
+from .efficiency import spatial_decomposition_trace, wait_chain_trace
 from .kernels import jacobi_stencil_trace, pipeline_trace, reduction_tree_trace
 from .h264 import FRAME_COLS, FRAME_ROWS, h264_wavefront_trace, wavefront_step
 from .random_traces import random_trace
@@ -57,4 +58,6 @@ __all__ = [
     "jacobi_stencil_trace",
     "reduction_tree_trace",
     "pipeline_trace",
+    "wait_chain_trace",
+    "spatial_decomposition_trace",
 ]

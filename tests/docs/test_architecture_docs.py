@@ -128,3 +128,25 @@ def test_architecture_states_the_ownership_notice_rule():
     assert "ownership notice" in text, (
         "the fast-path ownership-notice rule must be documented"
     )
+
+
+def test_architecture_documents_the_chrome_trace_export():
+    text = _doc_text().lower()
+    assert "trace-event" in text
+    assert "--trace-out" in text
+    for phrase in ("flow events", "released_by", "perfetto",
+                   "chrome://tracing", "observe-only"):
+        assert phrase in text, f"trace-export detail {phrase!r} missing"
+
+
+def test_architecture_documents_the_granularity_workloads():
+    text = _doc_text().lower()
+    for phrase in ("wait-chain", "spatial decomposition",
+                   "--efficiency", "parallel_efficiency",
+                   "efficiency-vs-granularity"):
+        assert phrase in text, f"workload-family detail {phrase!r} missing"
+    # The pinned curve is reproducible from the README too.
+    readme = (REPO / "README.md").read_text()
+    assert "BENCH_efficiency.json" in readme
+    assert "bench_efficiency.py" in readme
+    assert "--trace-out" in readme

@@ -167,3 +167,49 @@ def test_engines_agree_on_the_task_set(seed):
         sorted(r.tid for r in res.records if r.is_complete()) for res in results
     ]
     assert task_sets[0] == task_sets[1] == task_sets[2] == list(range(len(trace)))
+
+
+# ---- granularity-probe workloads (wait-chain / spatial decomposition) ----
+#
+# The efficiency benchmark family must be legal on every engine: the
+# wait-chain's cross-linked columns exercise dense RAW release chains,
+# and the 3D spatial decomposition's 28-parameter tasks cross both the
+# TD parameter spill and the kick-off list overflow thresholds.
+
+
+def _probe_traces():
+    from repro.traces import spatial_decomposition_trace, wait_chain_trace
+
+    return [
+        wait_chain_trace(8, 10, k_deps=3, spin_ns=800, cv=0.3, seed=5),
+        spatial_decomposition_trace(4, 3, dims=2),
+        spatial_decomposition_trace(3, 2, dims=3),
+    ]
+
+
+@pytest.mark.parametrize("index", [0, 1, 2])
+def test_probe_workloads_legal_on_software_rts(index):
+    trace = _probe_traces()[index]
+    graph = build_task_graph(trace)
+    result = run_software_rts(trace, SystemConfig(workers=4))
+    _assert_legal(result, graph)
+
+
+@pytest.mark.parametrize("index", [0, 1, 2])
+def test_probe_workloads_legal_on_single_maestro(index):
+    trace = _probe_traces()[index]
+    graph = build_task_graph(trace)
+    result = run_trace(trace, SystemConfig(workers=4, memory_batch_chunks=8))
+    _assert_legal(result, graph)
+
+
+@pytest.mark.parametrize("index", [0, 1, 2])
+@pytest.mark.parametrize("shards", [2, 3])
+def test_probe_workloads_legal_on_sharded_maestro(index, shards):
+    trace = _probe_traces()[index]
+    graph = build_task_graph(trace)
+    result = run_trace(
+        trace,
+        SystemConfig(workers=4, maestro_shards=shards, memory_batch_chunks=8),
+    )
+    _assert_legal(result, graph)

@@ -380,3 +380,62 @@ class TestSweepGridConflicts:
         with pytest.raises(SystemExit, match="different sweep grids"):
             main(["sweep", "random", "--tasks", "40", "--shards", "2",
                   "--resolve", "--dispatch"])
+
+
+class TestEfficiencyAndExport:
+    def test_run_wait_chain(self, capsys):
+        assert main(["run", "wait-chain", "--rows", "4", "--cols", "6",
+                     "--deps", "2", "--spin-ns", "500", "--workers", "4",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "wait-chain-4x6-k2-500ns" in out
+        assert "dependence check: OK" in out
+
+    def test_run_spatial(self, capsys):
+        assert main(["run", "spatial", "--grid", "3", "--steps", "2",
+                     "--dims", "3", "--workers", "4", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "spatial-3d-3^3x2" in out
+        assert "dependence check: OK" in out
+
+    def test_run_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "run.trace.json"
+        assert main(["run", "wait-chain", "--rows", "3", "--cols", "4",
+                     "--spin-ns", "400", "--workers", "2",
+                     "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"chrome trace written to {path}" in out
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["n_tasks"] == 12
+
+    def test_run_rejects_spin_list(self):
+        with pytest.raises(SystemExit, match="single positive integer"):
+            main(["run", "wait-chain", "--spin-ns", "250,1000",
+                  "--workers", "2"])
+
+    def test_efficiency_sweep_writes_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "eff.json"
+        assert main(["sweep", "wait-chain", "--efficiency",
+                     "--rows", "6", "--cols", "8",
+                     "--spin-ns", "500,8000", "--workers", "4",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "hw eff" in out and "sw eff" in out
+        assert "parallel efficiency vs granularity" in out
+        payload = json.loads(path.read_text())
+        assert [r["spin_ns"] for r in payload["rows"]] == [500, 8000]
+        assert all(r["efficiency_ratio"] > 1.0 for r in payload["rows"])
+
+    def test_efficiency_sweep_requires_wait_chain(self):
+        with pytest.raises(SystemExit, match="wait-chain"):
+            main(["sweep", "random", "--tasks", "40", "--efficiency"])
+
+    def test_efficiency_conflicts_with_other_grids(self):
+        with pytest.raises(SystemExit, match="different sweep grids"):
+            main(["sweep", "wait-chain", "--efficiency", "--shards", "2",
+                  "--resolve"])

@@ -15,7 +15,9 @@ from repro.traces import (
     horizontal_chains_trace,
     independent_trace,
     random_trace,
+    spatial_decomposition_trace,
     vertical_chains_trace,
+    wait_chain_trace,
     wavefront_step,
 )
 
@@ -305,3 +307,150 @@ class TestTimeModel:
             TimeModel(mean_exec=1, mean_memory=1, read_fraction=1.5)
         with pytest.raises(ValueError):
             TimeModel(mean_exec=1, mean_memory=1, cv=-0.1)
+
+
+class TestWaitChain:
+    """The granularity probe: rows x cols chains with k cross links."""
+
+    def test_shape(self):
+        trace = wait_chain_trace(8, 10, k_deps=2, spin_ns=500)
+        assert len(trace) == 80
+        assert [t.tid for t in trace] == list(range(80))
+        assert trace.max_params == 3  # 2 deps + own output
+        assert trace.meta["pattern"] == "wait-chain"
+
+    def test_every_dep_precedes_its_consumer(self):
+        graph = build_task_graph(wait_chain_trace(7, 9, k_deps=3, spin_ns=250))
+        for tid in range(graph.n_tasks):
+            assert all(p < tid for p in graph.predecessors[tid])
+
+    def test_dependency_structure(self):
+        rows, k = 8, 3
+        graph = build_task_graph(wait_chain_trace(rows, 10, k_deps=k))
+        # Column 0 tasks are roots.
+        assert graph.roots() == list(range(rows))
+        # Task (r, c) depends on ((r+d) % rows, c-1) for d in range(k).
+        for tid in (rows, 3 * rows + 5, 9 * rows + 7):
+            c, r = divmod(tid, rows)
+            expected = {(c - 1) * rows + (r + d) % rows for d in range(k)}
+            assert graph.predecessors[tid] == expected
+
+    def test_spin_sets_exec_time_exactly(self):
+        trace = wait_chain_trace(4, 6, spin_ns=750)
+        assert {t.exec_time for t in trace} == {750_000}  # ps
+        assert all(t.memory_time == 0 for t in trace)
+
+    def test_jitter_is_seed_deterministic(self):
+        a = wait_chain_trace(6, 8, spin_ns=1000, cv=0.3, seed=3)
+        b = wait_chain_trace(6, 8, spin_ns=1000, cv=0.3, seed=3)
+        c = wait_chain_trace(6, 8, spin_ns=1000, cv=0.3, seed=4)
+        assert a.tasks == b.tasks
+        assert [t.exec_time for t in a] != [t.exec_time for t in c]
+
+    def test_k_deps_clamped_to_rows(self):
+        trace = wait_chain_trace(3, 4, k_deps=10)
+        assert trace.meta["k_deps"] == 3
+        assert trace.max_params == 4  # no duplicate addresses
+
+    def test_steady_state_parallelism_is_rows(self):
+        profile = build_task_graph(
+            wait_chain_trace(5, 12, k_deps=1)
+        ).parallelism_profile()
+        assert set(profile) == {5}
+        assert len(profile) == 12
+
+    def test_lints_clean(self):
+        from repro.traces.validate import lint_trace
+
+        report = lint_trace(wait_chain_trace(16, 16, k_deps=4))
+        assert report.ok, report.errors
+
+    def test_beyond_8k_tasks_stays_dense_and_correct(self):
+        """Wait-chains larger than the 8192-task chunk size keep dense
+        tids and the exact dependence structure across the boundary."""
+        rows, cols, k = 128, 65, 2
+        trace = wait_chain_trace(rows, cols, k_deps=k, spin_ns=300)
+        assert len(trace) == 8320
+        assert [t.tid for t in trace] == list(range(8320))
+        for tid in (8191, 8192, 8193):
+            task = trace[tid]
+            c, r = divmod(tid, rows)
+            expected = {
+                0x80_000_000 + ((c - 1) * rows + (r + d) % rows) * 64
+                for d in range(k)
+            }
+            got = {p.addr for p in task.params if p.mode.name == "IN"}
+            assert got == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wait_chain_trace(0, 5)
+        with pytest.raises(ValueError):
+            wait_chain_trace(5, 0)
+        with pytest.raises(ValueError):
+            wait_chain_trace(5, 5, k_deps=0)
+        with pytest.raises(ValueError):
+            wait_chain_trace(5, 5, spin_ns=0)
+
+
+class TestSpatialDecomposition:
+    """The MD halo exchange: Moore neighbourhood, double buffered."""
+
+    def test_task_count(self):
+        assert len(spatial_decomposition_trace(4, 3, dims=2)) == 48
+        assert len(spatial_decomposition_trace(3, 2, dims=3)) == 54
+
+    def test_interior_cell_reads_full_moore_neighbourhood(self):
+        grid = 4
+        trace = spatial_decomposition_trace(grid, 2, dims=2)
+        graph = build_task_graph(trace)
+        # Interior cell (1, 1) of step 1 depends on its 3x3 block of
+        # step-0 writers (self + 8 neighbours).
+        tid = grid * grid + 1 * grid + 1
+        expected = {
+            i * grid + j for i in range(3) for j in range(3)
+        }
+        assert graph.predecessors[tid] == expected
+        assert trace[tid].n_params == 10  # 9 reads + 1 write
+
+    def test_boundary_cells_clamp(self):
+        grid = 4
+        trace = spatial_decomposition_trace(grid, 2, dims=2)
+        graph = build_task_graph(trace)
+        corner = grid * grid + 0  # cell (0, 0) of step 1
+        assert graph.predecessors[corner] == {0, 1, grid, grid + 1}
+        assert trace[corner].n_params == 5  # 4 reads + 1 write
+
+    def test_3d_interior_cell_has_28_params(self):
+        trace = spatial_decomposition_trace(3, 2, dims=3)
+        # Centre cell (1,1,1) reads all 27 step-0 blocks; its parameter
+        # list spills well past the per-descriptor hardware limit.
+        centre = 27 + (1 * 3 + 1) * 3 + 1
+        assert trace[centre].n_params == 28
+        graph = build_task_graph(trace)
+        assert graph.predecessors[centre] == set(range(27))
+
+    def test_every_dep_precedes_its_consumer(self):
+        graph = build_task_graph(spatial_decomposition_trace(3, 3, dims=3))
+        for tid in range(graph.n_tasks):
+            assert all(p < tid for p in graph.predecessors[tid])
+
+    def test_deterministic(self):
+        a = spatial_decomposition_trace(4, 3, dims=2)
+        b = spatial_decomposition_trace(4, 3, dims=2)
+        assert a.tasks == b.tasks
+
+    def test_lints_clean(self):
+        from repro.traces.validate import lint_trace
+
+        for dims in (2, 3):
+            report = lint_trace(spatial_decomposition_trace(3, 2, dims=dims))
+            assert report.ok, report.errors
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spatial_decomposition_trace(4, 2, dims=4)
+        with pytest.raises(ValueError):
+            spatial_decomposition_trace(0, 2)
+        with pytest.raises(ValueError):
+            spatial_decomposition_trace(4, 0)
