@@ -14,7 +14,13 @@ observability:
   — where dependence resolution time goes;
 * one **flow event pair** (``ph: "s"``/``"f"``) per dependence-release
   edge recorded in the scoreboard's ``released_by`` links, drawn from the
-  releasing task's write-back to the released task's input fetch.
+  releasing task's write-back to the released task's input fetch;
+* one **counter lane** (``ph: "C"``) per deterministic telemetry signal
+  when the run was sampled (``telemetry_window`` set) — Perfetto renders
+  these as stacked area strips under the task lanes, so queue depths and
+  per-block busy fractions line up with the schedule above them.
+  Host-derived signals (wall-clock rates) are excluded to keep the
+  export byte-stable for a given run.
 
 Timestamps are microseconds (the trace-event unit) converted exactly from
 the simulator's integer picoseconds, so exports are byte-stable for a
@@ -33,6 +39,7 @@ __all__ = ["chrome_trace", "write_chrome_trace"]
 
 _PID_WORKERS = 1
 _PID_MAESTRO = 2
+_PID_COUNTERS = 3
 
 _UNSET = -1
 
@@ -199,18 +206,69 @@ def chrome_trace(result: RunResult) -> Dict[str, Any]:
             )
             n_flows += 1
 
+    telemetry = result.stats.get("telemetry")
+    n_counter_lanes = 0
+    if telemetry and telemetry.get("times_ps"):
+        n_counter_lanes = _append_counter_lanes(events, telemetry)
+
+    other: Dict[str, Any] = {
+        "trace": result.trace_name,
+        "workers": result.workers,
+        "maestro_shards": shards,
+        "makespan_ps": result.makespan,
+        "n_tasks": len(records),
+        "n_dependence_flows": n_flows,
+    }
+    if n_counter_lanes:
+        other["telemetry_window_ps"] = telemetry["window_ps"]
+        other["n_counter_lanes"] = n_counter_lanes
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",
-        "otherData": {
-            "trace": result.trace_name,
-            "workers": result.workers,
-            "maestro_shards": shards,
-            "makespan_ps": result.makespan,
-            "n_tasks": len(records),
-            "n_dependence_flows": n_flows,
-        },
+        "otherData": other,
     }
+
+
+def _append_counter_lanes(
+    events: List[Dict[str, Any]], telemetry: Dict[str, Any]
+) -> int:
+    """Emit one ``ph: "C"`` lane per deterministic telemetry signal.
+
+    Counter samples carry the value over the window *ending* at the
+    sample timestamp.  Signals listed in ``host_signals`` (wall-clock
+    derived, e.g. events/sec of the host process) are skipped so the
+    exported document stays byte-identical across reruns of the same
+    simulation.  Returns the number of lanes emitted.
+    """
+    host = set(telemetry.get("host_signals", ()))
+    times = telemetry["times_ps"]
+    lanes = [name for name in sorted(telemetry["signals"]) if name not in host]
+    if lanes:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": _PID_COUNTERS,
+                "tid": 0,
+                "args": {"name": "telemetry"},
+            }
+        )
+    for name in lanes:
+        values = telemetry["signals"][name]
+        for t_ps, value in zip(times, values):
+            events.append(
+                {
+                    "ph": "C",
+                    "cat": "telemetry",
+                    "name": name,
+                    "pid": _PID_COUNTERS,
+                    "tid": 0,
+                    "ts": _us(t_ps),
+                    "args": {"value": value},
+                }
+            )
+    return len(lanes)
 
 
 def write_chrome_trace(result: RunResult, path: str) -> Dict[str, Any]:

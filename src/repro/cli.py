@@ -20,6 +20,9 @@ Commands
              wait-chain workload
 ``workloads``list the available workload generators
 ``validate`` check a saved trace file for well-formedness and graph stats
+``report``   pretty-print a ``run --metrics-out`` JSON document, or diff
+             two of them (makespan, worker utilization, per-signal
+             mean/max deltas)
 
 Examples::
 
@@ -58,6 +61,10 @@ Examples::
     python -m repro sweep wait-chain --efficiency --rows 32 --cols 40 \
         --spin-ns 250,1000,4000,16000,64000 --no-contention \
         --json BENCH_efficiency.json
+    python -m repro run wait-chain --rows 8 --cols 32 --telemetry-window 50000 \
+        --metrics-out run.metrics.json --trace-out run.trace.json
+    python -m repro report run.metrics.json
+    python -m repro report run.metrics.json baseline.metrics.json
 """
 
 from __future__ import annotations
@@ -258,6 +265,10 @@ def _config_from(
         overrides["check_coalesce_window"] = args.check_coalesce_window * NS
     if getattr(args, "kernel", None) is not None:
         overrides["sim_kernel"] = args.kernel
+    if getattr(args, "telemetry_window", None) is not None:
+        from .sim import NS
+
+        overrides["telemetry_window"] = args.telemetry_window * NS
     try:
         return SystemConfig(**overrides)
     except ValueError as exc:
@@ -303,6 +314,12 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
         "--kernel", choices=("heap", "wheel"), default=None,
         help="event-scheduler implementation (wheel = default fast kernel, "
         "heap = original baseline; results are identical)",
+    )
+    p.add_argument(
+        "--telemetry-window", type=int, default=None,
+        help="windowed telemetry sampling period in ns (0/omitted = off); "
+        "observe-only — the sampled schedule is cycle-identical to an "
+        "unsampled run",
     )
 
 
@@ -500,6 +517,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"merged in program order, "
             f"stall {result.stats['master_stall_ps'] / 1e6:.3g} us total"
         )
+    telemetry = result.telemetry
+    if telemetry and telemetry.get("times_ps"):
+        from .machine import bottleneck_timeline
+
+        print(
+            f"telemetry: {len(telemetry['times_ps'])} windows x "
+            f"{telemetry['window_ps'] / 1e6:.4g} us, "
+            f"{len(telemetry['signals'])} signals"
+        )
+        timeline = bottleneck_timeline(result, cfg)
+        if timeline is not None:
+            print(f"bottleneck timeline: {timeline.strip()}")
+    if getattr(args, "metrics_out", None):
+        from .analysis import write_metrics
+
+        write_metrics(result, args.metrics_out)
+        print(
+            f"metrics written to {args.metrics_out}; pretty-print or diff "
+            "against a baseline with `python -m repro report`"
+        )
     if getattr(args, "trace_out", None):
         from .analysis import write_chrome_trace
 
@@ -545,16 +582,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = [[c, round(s, 2), f"{s / c:.2f}"] for c, s in curve.rows()]
     print(render_table(["cores", "speedup", "efficiency"], rows, trace.name))
     print(f"saturation point: ~{curve.saturation_point()} cores")
+    if getattr(args, "profile", False):
+        _print_profile_summary(curve.runs)
     if args.json:
-        _write_json(
-            args.json,
-            {
-                "trace": trace.name,
-                "rows": [
-                    {"cores": c, "speedup": round(s, 4)} for c, s in curve.rows()
-                ],
-            },
-        )
+        rows = [{"cores": c, "speedup": round(s, 4)} for c, s in curve.rows()]
+        if getattr(args, "profile", False):
+            for row, run in zip(rows, curve.runs):
+                row["sim"] = run.stats.get("sim")
+        _write_json(args.json, {"trace": trace.name, "rows": rows})
     return 0
 
 
@@ -579,6 +614,31 @@ def _write_json(path: str, payload: dict) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)
     print(f"report written to {path}")
+
+
+def _print_profile_summary(runs) -> None:
+    """Compact host-kernel cost line for a sweep: total wall and events."""
+    profs = [r.stats.get("sim") for r in runs if r.stats.get("sim")]
+    if not profs:
+        return
+    wall = sum(p["wall_seconds"] for p in profs)
+    events = sum(p["events_processed"] for p in profs)
+    rate = f" ({int(events / wall):,}/s)" if wall > 0 else ""
+    print(
+        f"kernel profile [{profs[0]['kernel']}]: {len(profs)} runs, "
+        f"{wall:.3f}s wall, {events:,} events{rate}"
+    )
+
+
+def _sweep_report_out(args: argparse.Namespace, report) -> None:
+    """Shared sweep tail: optional --profile summary, optional --json dump."""
+    profile = getattr(args, "profile", False)
+    if profile:
+        runs = getattr(report, "hw_runs", None)
+        runs = report.hw_runs + report.sw_runs if runs is not None else report.runs
+        _print_profile_summary(runs)
+    if args.json:
+        _write_json(args.json, report.to_json_dict(profile=profile))
 
 
 def _efficiency_sweep(args: argparse.Namespace) -> int:
@@ -638,8 +698,7 @@ def _efficiency_sweep(args: argparse.Namespace) -> int:
     )
     print()
     print(report.plot())
-    if args.json:
-        _write_json(args.json, report.to_json_dict())
+    _sweep_report_out(args, report)
     return 0
 
 
@@ -678,8 +737,7 @@ def _shard_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
             f"{trace.name} @ {cfg.workers} workers",
         )
     )
-    if args.json:
-        _write_json(args.json, report.to_json_dict())
+    _sweep_report_out(args, report)
     return 0
 
 
@@ -724,8 +782,7 @@ def _retire_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
             f"{cfg.master_cores} master(s)",
         )
     )
-    if args.json:
-        _write_json(args.json, report.to_json_dict())
+    _sweep_report_out(args, report)
     return 0
 
 
@@ -790,8 +847,7 @@ def _dispatch_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
             f"{cfg.retire_pipeline_depth}",
         )
     )
-    if args.json:
-        _write_json(args.json, report.to_json_dict())
+    _sweep_report_out(args, report)
     return 0
 
 
@@ -858,8 +914,7 @@ def _resolve_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
             f"{cfg.retire_pipeline_depth}",
         )
     )
-    if args.json:
-        _write_json(args.json, report.to_json_dict())
+    _sweep_report_out(args, report)
     return 0
 
 
@@ -926,8 +981,7 @@ def _check_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
             f"{cfg.retire_pipeline_depth}",
         )
     )
-    if args.json:
-        _write_json(args.json, report.to_json_dict())
+    _sweep_report_out(args, report)
     return 0
 
 
@@ -977,8 +1031,34 @@ def _master_sweep(trace: TaskTrace, args: argparse.Namespace) -> int:
             f"{trace.name} @ {cfg.workers} workers, {cfg.maestro_shards} shard(s)",
         )
     )
-    if args.json:
-        _write_json(args.json, report.to_json_dict())
+    _sweep_report_out(args, report)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Pretty-print one metrics JSON document, or diff two of them."""
+    import json
+
+    from .analysis import diff_metrics, render_metrics, validate_metrics
+
+    docs = []
+    for path in [args.metrics] + ([args.baseline] if args.baseline else []):
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"{path}: cannot read metrics JSON: {exc}") from None
+        problems = validate_metrics(doc)
+        if problems:
+            print(f"{path}: invalid metrics document:")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        docs.append(doc)
+    if len(docs) == 1:
+        print(render_metrics(docs[0]))
+    else:
+        print(diff_metrics(docs[0], docs[1]))
     return 0
 
 
@@ -1059,6 +1139,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         "chrome://tracing or Perfetto) — observe-only, never perturbs "
         "the schedule",
     )
+    p_run.add_argument(
+        "--metrics-out", default=None,
+        help="write a versioned metrics JSON document (schema_version "
+        "1); inspect or diff with `python -m repro report`",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser(
@@ -1120,8 +1205,25 @@ def main(argv: Optional[list[str]] = None) -> int:
         "efficiency of the HW Maestro vs the software-RTS baseline at "
         "each --spin-ns value (workload must be wait-chain)",
     )
+    p_sweep.add_argument(
+        "--profile", action="store_true",
+        help="print aggregate host-kernel cost and attach each grid "
+        "point's kernel profile (stats['sim']) to the --json report",
+    )
     p_sweep.add_argument("--json", default=None, help="write the sweep report to a JSON file")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_report = sub.add_parser(
+        "report",
+        help="pretty-print a --metrics-out JSON document, or diff two "
+        "(schema-validated; exits 1 on an invalid document)",
+    )
+    p_report.add_argument("metrics", help="metrics JSON from `run --metrics-out`")
+    p_report.add_argument(
+        "baseline", nargs="?", default=None,
+        help="optional baseline metrics JSON to diff against",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_val = sub.add_parser("validate", help="inspect a saved .npz trace")
     p_val.add_argument("path")

@@ -249,6 +249,18 @@ class SystemConfig:
     #: modelled results.
     sim_kernel: str = "wheel"
 
+    # ---- telemetry ----------------------------------------------------------------
+    #: Telemetry sampling window in picoseconds; 0 (default) disables the
+    #: windowed :class:`~repro.analysis.telemetry.TelemetrySampler` and
+    #: builds none of its machinery.  N > 0 snapshots every registered
+    #: signal (per-block busy fractions, queue depths, retire tickets in
+    #: flight, TD-cache hit rate...) once per window into a time series
+    #: carried in ``stats["telemetry"]``.  Sampling is observe-only: the
+    #: host loop steps ``sim.run(until=...)`` to each window boundary and
+    #: reads the statistics there, injecting zero simulation events, so a
+    #: sampled run replays cycle-identically to an unsampled one.
+    telemetry_window: int = 0
+
     # ---- model switches -------------------------------------------------------------
     #: Nexus (non-plus-plus) compatibility mode: refuse tasks with more than
     #: ``max_params_per_td`` parameters and more than ``kickoff_list_size``
@@ -384,6 +396,10 @@ class SystemConfig:
                 "require the sharded Maestro engine (set maestro_shards > 1 "
                 "or force_sharded_maestro); the single-Maestro machine has "
                 "no Check Scatter to decentralize"
+            )
+        if self.telemetry_window < 0:
+            raise ValueError(
+                f"telemetry_window must be >= 0, got {self.telemetry_window}"
             )
         if self.sim_kernel not in ("heap", "wheel"):
             raise ValueError(

@@ -1,6 +1,11 @@
 """Full-system Task Machine simulator and sweep helpers."""
 
-from .bottleneck import BottleneckReport, analyze_bottleneck
+from .bottleneck import (
+    BottleneckReport,
+    BottleneckTimeline,
+    analyze_bottleneck,
+    bottleneck_timeline,
+)
 from .machine import NexusMachine, run_trace
 from .results import RunResult, Scoreboard, TaskRecord
 from .sweep import (
@@ -48,4 +53,6 @@ __all__ = [
     "efficiency_sweep",
     "BottleneckReport",
     "analyze_bottleneck",
+    "BottleneckTimeline",
+    "bottleneck_timeline",
 ]

@@ -47,7 +47,12 @@ from typing import Dict, List, Optional
 from ..config import SystemConfig
 from .results import RunResult
 
-__all__ = ["BottleneckReport", "analyze_bottleneck"]
+__all__ = [
+    "BottleneckReport",
+    "analyze_bottleneck",
+    "BottleneckTimeline",
+    "bottleneck_timeline",
+]
 
 #: Occupancy above which a stage is considered saturated.
 _SATURATION = 0.90
@@ -185,6 +190,111 @@ def analyze_bottleneck(
     else:
         verdict, detail = _latency_or_application(result)
     return BottleneckReport(occupancy=occupancy, verdict=verdict, detail=detail)
+
+
+@dataclass(frozen=True)
+class BottleneckTimeline:
+    """The bottleneck verdict *over time*: one phase per maximal run of
+    consecutive telemetry windows sharing a verdict.
+
+    :func:`analyze_bottleneck` answers "what limited this run?" with a
+    single word; a run that is master-bound while the front-end drains
+    the trace and retire-bound once the pipeline fills gets the majority
+    verdict only.  The timeline applies the same saturation rules to each
+    telemetry window, so phase changes become visible:
+    ``master → retire → latency``.
+    """
+
+    #: ``(start_ps, end_ps, verdict)`` per phase, in time order.
+    phases: List[tuple[int, int, str]]
+    window_ps: int
+
+    def strip(self) -> str:
+        """One-line phase strip: ``master → retire (at 1.2 ms) → ...``.
+
+        The parenthesized timestamp on each phase after the first is the
+        transition instant (window-boundary resolution)."""
+        if not self.phases:
+            return "(no phases)"
+        parts = [self.phases[0][2]]
+        for start, _end, verdict in self.phases[1:]:
+            parts.append(f"{verdict} (at {start / 1e9:.4g} ms)")
+        return " → ".join(parts)
+
+    def verdicts(self) -> List[str]:
+        """The phase verdicts in time order (collapsed, no timestamps)."""
+        return [verdict for _s, _e, verdict in self.phases]
+
+
+def _window_verdict(occupancy: Dict[str, float], fallback: str) -> str:
+    """The run-level verdict rules applied to one window's occupancies.
+
+    Saturation and retire-backpressure are meaningful per window; the
+    latency-vs-application split is not (the dispatch attribution is a
+    whole-run statistic), so unsaturated windows inherit the run-level
+    fallback verdict."""
+    saturated = {k: v for k, v in occupancy.items() if v >= _SATURATION}
+    if saturated:
+        upstream = {k: v for k, v in saturated.items() if k != "workers"}
+        return max((upstream or saturated).items(), key=lambda kv: kv[1])[0]
+    if occupancy.get("retire", 0.0) >= _RETIRE_BACKPRESSURE and _busiest_is_retire(
+        occupancy
+    ):
+        return "retire"
+    return fallback
+
+
+def _window_occupancy(
+    signals: Dict[str, List[float]], index: int
+) -> Dict[str, float]:
+    """Map one telemetry sample onto the bottleneck occupancy keys.
+
+    ``master.busy``/``workers.busy`` map directly; ``retire.full_fraction``
+    is the windowed pipeline-full analogue of the run-level retire
+    backpressure; every other ``*.busy`` signal is a Maestro block and
+    keeps the ``maestro.`` prefix the run-level occupancies use (so
+    :func:`_busiest_is_retire` applies unchanged)."""
+    occ: Dict[str, float] = {}
+    for name, values in signals.items():
+        value = values[index]
+        if name == "master.busy":
+            occ["master"] = value
+        elif name == "workers.busy":
+            occ["workers"] = value
+        elif name == "retire.full_fraction":
+            occ["retire"] = value
+        elif name.endswith(".busy"):
+            occ[f"maestro.{name[: -len('.busy')]}"] = value
+    return occ
+
+
+def bottleneck_timeline(
+    result: RunResult, config: Optional[SystemConfig] = None
+) -> Optional[BottleneckTimeline]:
+    """Per-window bottleneck phases of a telemetry-sampled run.
+
+    Returns ``None`` when the run carries no telemetry (``telemetry_window``
+    left at 0) or no window completed.  Consecutive windows with the same
+    verdict merge into one phase; windows where nothing saturates fall
+    back to the run-level latency/application verdict, so a timeline
+    always covers the sampled span.
+    """
+    telemetry = result.stats.get("telemetry")
+    if not telemetry or not telemetry.get("times_ps"):
+        return None
+    times: List[int] = telemetry["times_ps"]
+    signals: Dict[str, List[float]] = telemetry["signals"]
+    fallback, _detail = _latency_or_application(result)
+
+    phases: List[tuple[int, int, str]] = []
+    for i, end in enumerate(times):
+        start = times[i - 1] if i else 0
+        verdict = _window_verdict(_window_occupancy(signals, i), fallback)
+        if phases and phases[-1][2] == verdict:
+            phases[-1] = (phases[-1][0], end, verdict)
+        else:
+            phases.append((start, end, verdict))
+    return BottleneckTimeline(phases=phases, window_ps=telemetry["window_ps"])
 
 
 def _latency_or_application(result: RunResult) -> tuple[str, Optional[str]]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from ..analysis.telemetry import TelemetrySampler
 from ..config import SystemConfig
 from ..hw.dispatch import hop_latency_stats
 from ..hw.errors import CapacityError
@@ -69,9 +70,14 @@ class NexusMachine:
         for tc in controllers:
             tc.start()
 
+        sampler = None
+        if cfg.telemetry_window > 0:
+            sampler = TelemetrySampler(sim, cfg.telemetry_window)
+            _register_telemetry(sampler, cfg, fabric, maestro, master, controllers)
+
         wall_start = time.perf_counter()
         try:
-            sim.run(until=max_time)
+            _drive(sim, sampler, cfg.telemetry_window, max_time)
         except DeadlockError:
             # Component processes are endless loops; once the last task has
             # retired every block parks on an empty FIFO and the event heap
@@ -246,6 +252,11 @@ class NexusMachine:
                     ],
                 },
             }
+        if sampler is not None:
+            # The sampled time series, as a plain JSON-shaped block; the
+            # Chrome-trace counter lanes and the metrics document both
+            # read it from here.
+            stats["telemetry"] = sampler.to_dict()
         if fabric.parallel_frontend:
             stats["frontend"] = {
                 "master_cores": fabric.n_masters,
@@ -289,6 +300,136 @@ class NexusMachine:
                 "sim_kernel": cfg.sim_kernel,
             },
         )
+
+
+def _drive(
+    sim: Simulator,
+    sampler: Optional[TelemetrySampler],
+    window: int,
+    max_time: Optional[int],
+) -> None:
+    """Run the simulation, stepping at telemetry window boundaries.
+
+    Without a sampler this is exactly ``sim.run(until=max_time)``.  With
+    one, the *host* loop repeatedly runs to the next ``window`` boundary
+    and samples there — both kernels resume from ``run(until=...)``
+    without reordering anything and the sampler injects zero events, so a
+    sampled run is cycle-identical to an unsampled one (the observe-only
+    differential test pins this).  The event queue draining mid-window
+    raises :class:`DeadlockError` (the normal end of a run); the final
+    partial window is sampled before re-raising so the tail of the run is
+    not lost.
+    """
+    if sampler is None:
+        sim.run(until=max_time)
+        return
+    boundary = window
+    try:
+        while True:
+            target = boundary if max_time is None else min(boundary, max_time)
+            sim.run(until=target)
+            sampler.sample()
+            if max_time is not None and target >= max_time:
+                return
+            boundary += window
+    except DeadlockError:
+        sampler.sample()
+        raise
+
+
+def _register_telemetry(
+    sampler: TelemetrySampler,
+    cfg: SystemConfig,
+    fabric: Fabric,
+    maestro,
+    master: MasterCluster,
+    controllers: list,
+) -> None:
+    """Register every machine signal on the sampler under its stable
+    dotted name.
+
+    The signal set mirrors the end-of-run stats blocks: per-block busy
+    fractions (``write_tp.busy``, ``s0.check.busy``...), queue depths
+    (finish inbox, kick queues, TDs buffer, ready lists), retire tickets
+    in flight, kick-off waiter occupancy, TD-cache hit rate, and the
+    host profile's events counters.  Every read is a window *delta* of a
+    cumulative statistic, so sampling is observe-only by construction.
+    Conditional signals (kick queues, re-sequencers, TD cache, retire)
+    exist exactly when their machinery is wired, the same rule the stats
+    dict follows.
+    """
+    sim = fabric.sim
+    for name, tracker in maestro.busy.items():
+        sampler.add_busy(f"{name}.busy", tracker)
+    sampler.add_busy_group("workers.busy", [tc.busy for tc in controllers])
+
+    # Master producing fraction: core-time spent generating TDs (total
+    # master-core time minus recorded stall minus post-done idle), the
+    # same normalization the bottleneck report uses run-wide.
+    masters = master.masters
+    stall_state = [0]
+
+    def master_busy(t0: int, t1: int) -> float:
+        active = 0
+        for m in masters:
+            end = t1 if m.done_at is None else min(m.done_at, t1)
+            active += max(0, end - t0)
+        stall = sum(m.stall_time for m in masters)
+        d_stall, stall_state[0] = stall - stall_state[0], stall
+        return max(0, active - d_stall) / ((t1 - t0) * len(masters))
+
+    sampler.add_signal("master.busy", master_busy)
+
+    sampler.add_mean_level("tds_buffer.depth", [fabric.tds_buffer.stat])
+    if fabric.sharded:
+        sampler.add_mean_level(
+            "ready.depth", [f.stat for f in fabric.shard_ready]
+        )
+        sampler.add_mean_level(
+            "resolve.inbox.depth", [f.stat for f in fabric.finish_inbox]
+        )
+        sampler.add_mean_level(
+            "retire.inflight", fabric.retire_inflight
+        )
+        sampler.add_full_fraction(
+            "retire.full_fraction",
+            fabric.retire_inflight,
+            cfg.retire_pipeline_depth,
+        )
+    else:
+        sampler.add_mean_level("ready.depth", [fabric.global_ready.stat])
+        sampler.add_mean_level(
+            "resolve.inbox.depth", [fabric.finished_notify.stat]
+        )
+    sampler.add_mean_level("dep_table.kickoff_waiters", fabric.kickoff_waiters)
+    if fabric.resolve.kick_queues:
+        sampler.add_mean_level(
+            "resolve.kick_queues.depth",
+            [q.stat for q in fabric.resolve.kick_queues],
+        )
+    if cfg.decentralized_check_scatter:
+        sampler.add_mean_level(
+            "check.scatter_slices.depth",
+            [f.stat for f in fabric.scatter_slices],
+        )
+        sampler.add_gauge(
+            "check.reseq_held",
+            lambda: sum(len(r._held) for r in fabric.check_reseq),
+        )
+    if fabric.dispatch is not None and fabric.dispatch.cache is not None:
+        cache = fabric.dispatch.cache
+        sampler.add_rate(
+            "td_cache.hit_rate",
+            lambda: cache.hits,
+            lambda: cache.hits + cache.misses,
+        )
+    if cfg.memory_contention and fabric.memory.banks is not None:
+        sampler.add_mean_level("memory.banks", [fabric.memory.banks.stat])
+    # Kernel events per window: the modelled-event count delta is
+    # deterministic (it counts simulation events, not wall time) and so
+    # exportable; events/sec is wall-clock derived and flagged host-only.
+    sampler.add_counter("sim.events", lambda: sim.events_processed)
+    sampler.add_events_per_sec(sim)
 
 
 def run_trace(trace: TaskTrace, config: Optional[SystemConfig] = None) -> RunResult:

@@ -30,6 +30,12 @@ class RunResult:
     def n_tasks(self) -> int:
         return len(self.records)
 
+    @property
+    def telemetry(self) -> Optional[Dict[str, Any]]:
+        """The windowed telemetry time-series dict, or ``None`` when the
+        run was not sampled (``telemetry_window`` left at 0)."""
+        return self.stats.get("telemetry")
+
     def speedup_over(self, baseline: "RunResult") -> float:
         """Speedup of this run relative to ``baseline`` (usually 1 worker)."""
         if self.makespan <= 0:

@@ -36,6 +36,14 @@ __all__ = [
 ]
 
 
+def _attach_profiles(rows: List[dict], runs: Sequence[RunResult]) -> None:
+    """Attach each run's host-kernel profile (``stats["sim"]``: wall
+    seconds, events processed, events/sec, peak pending) to its row —
+    the sweep JSON analogue of ``run --profile``."""
+    for row, run in zip(rows, runs):
+        row["sim"] = run.stats.get("sim")
+
+
 @dataclass
 class SpeedupCurve:
     """Speedup vs worker count, measured against the 1-worker run.
@@ -168,12 +176,15 @@ class ShardScalingReport:
             )
         return out
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self, profile: bool = False) -> dict:
+        rows = self.rows()
+        if profile:
+            _attach_profiles(rows, self.runs)
         return {
             "trace": self.trace_name,
             "workers": self.workers,
             "baseline_shards": self.baseline_shards,
-            "rows": self.rows(),
+            "rows": rows,
         }
 
 
@@ -261,7 +272,10 @@ class MasterScalingReport:
             )
         return out
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self, profile: bool = False) -> dict:
+        rows = self.rows()
+        if profile:
+            _attach_profiles(rows, self.runs)
         return {
             "trace": self.trace_name,
             "workers": self.workers,
@@ -270,7 +284,7 @@ class MasterScalingReport:
                 "masters": self.baseline_point[0],
                 "batch": self.baseline_point[1],
             },
-            "rows": self.rows(),
+            "rows": rows,
         }
 
 
@@ -363,13 +377,16 @@ class RetireScalingReport:
             )
         return out
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self, profile: bool = False) -> dict:
+        rows = self.rows()
+        if profile:
+            _attach_profiles(rows, self.runs)
         return {
             "trace": self.trace_name,
             "workers": self.workers,
             "shards": self.shards,
             "baseline_depth": self.baseline_depth,
-            "rows": self.rows(),
+            "rows": rows,
         }
 
 
@@ -474,7 +491,10 @@ class DispatchLatencyReport:
             )
         return out
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self, profile: bool = False) -> dict:
+        rows = self.rows()
+        if profile:
+            _attach_profiles(rows, self.runs)
         return {
             "trace": self.trace_name,
             "workers": self.workers,
@@ -483,7 +503,7 @@ class DispatchLatencyReport:
                 "td_cache": self.baseline_point[0],
                 "fast_path": self.baseline_point[1],
             },
-            "rows": self.rows(),
+            "rows": rows,
         }
 
 
@@ -595,7 +615,10 @@ class ResolveScalingReport:
             )
         return out
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self, profile: bool = False) -> dict:
+        rows = self.rows()
+        if profile:
+            _attach_profiles(rows, self.runs)
         return {
             "trace": self.trace_name,
             "workers": self.workers,
@@ -605,7 +628,7 @@ class ResolveScalingReport:
                 "coalesce": self.baseline_point[0],
                 "speculative": self.baseline_point[1],
             },
-            "rows": self.rows(),
+            "rows": rows,
         }
 
 
@@ -733,7 +756,10 @@ class CheckScalingReport:
             )
         return out
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self, profile: bool = False) -> dict:
+        rows = self.rows()
+        if profile:
+            _attach_profiles(rows, self.runs)
         return {
             "trace": self.trace_name,
             "workers": self.workers,
@@ -743,7 +769,7 @@ class CheckScalingReport:
                 "decentralized": self.baseline_point[0],
                 "coalesce": self.baseline_point[1],
             },
-            "rows": self.rows(),
+            "rows": rows,
         }
 
 
@@ -907,7 +933,14 @@ class EfficiencyReport:
             )
         return out
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self, profile: bool = False) -> dict:
+        rows = self.rows_out()
+        if profile:
+            # Two machines per grid point: the HW Maestro run and the
+            # software-RTS baseline each carry their own kernel profile.
+            for row, hw, sw in zip(rows, self.hw_runs, self.sw_runs):
+                row["hw_sim"] = hw.stats.get("sim")
+                row["sw_sim"] = sw.stats.get("sim")
         return {
             "trace": self.trace_name,
             "workers": self.workers,
@@ -916,7 +949,7 @@ class EfficiencyReport:
             "k_deps": self.k_deps,
             "finest_spin_ns": self.finest_spin_ns,
             "ratio_at_finest": round(self.ratio_at(self.finest_spin_ns), 4),
-            "rows": self.rows_out(),
+            "rows": rows,
         }
 
     def plot(self, width: int = 64, height: int = 18) -> str:

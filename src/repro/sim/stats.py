@@ -40,14 +40,32 @@ class OccupancyStat:
         if level > self.max_level:
             self.max_level = level
 
+    @property
+    def level(self) -> int:
+        """The current (instantaneous) level."""
+        return self._level
+
     def mean(self, until: Optional[int] = None) -> float:
-        """Time-weighted mean level from creation to ``until`` (default: now)."""
+        """Time-weighted mean level from creation to ``until`` (default: now).
+
+        A zero-duration span (a truncated or 0-task run sampled at its
+        creation instant) yields 0.0 rather than raising or reporting a
+        phantom instantaneous level — there was no time to integrate over.
+        """
         end = self._sim.now if until is None else until
         span = end - self._t0
         if span <= 0:
-            return float(self._level)
+            return 0.0
         area = self._area + self._level * (end - self._last_change)
         return area / span
+
+    def area(self, until: Optional[int] = None) -> int:
+        """Cumulative level-time integral (level x ps) from creation to
+        ``until`` (default: now), including the open tail at the current
+        level.  The telemetry sampler's window-delta read: the mean level
+        over a window is the area delta divided by the window length."""
+        end = self._sim.now if until is None else until
+        return self._area + self._level * max(0, end - self._last_change)
 
 
 class LevelStat(OccupancyStat):
@@ -103,6 +121,17 @@ class LevelStat(OccupancyStat):
         time when called with the pipeline's depth)."""
         return sum(f for lvl, f in self.histogram(until).items() if lvl >= level)
 
+    def time_at_or_above(self, level: int, until: Optional[int] = None) -> int:
+        """Cumulative picoseconds the level was ``>= level`` from creation
+        to ``until`` (default: now), including the open tail.  The
+        telemetry sampler's window-delta read behind the windowed
+        pipeline-full fraction."""
+        end = self._sim.now if until is None else until
+        total = sum(t for lvl, t in self._time_at.items() if lvl >= level)
+        if self._level >= level:
+            total += max(0, end - self._last_change)
+        return total
+
 
 class BusyTracker:
     """Accumulates busy time of a unit (a worker core, a Maestro block).
@@ -136,11 +165,22 @@ class BusyTracker:
         return self._busy_since is not None
 
     def utilization(self, span: int) -> float:
-        """Fraction of ``span`` spent busy (counts an open interval to now)."""
+        """Fraction of ``span`` spent busy (counts an open interval to now).
+
+        A non-positive ``span`` (a truncated or 0-task run) yields 0.0
+        rather than raising."""
+        return self.busy_through() / span if span > 0 else 0.0
+
+    def busy_through(self, until: Optional[int] = None) -> int:
+        """Cumulative busy picoseconds from creation to ``until`` (default:
+        now), counting an open interval up to that instant.  The telemetry
+        sampler's window-delta read: busy fraction over a window is the
+        delta of this divided by the window length."""
+        end = self._sim.now if until is None else until
         busy = self.busy_time
         if self._busy_since is not None:
-            busy += self._sim.now - self._busy_since
-        return busy / span if span > 0 else 0.0
+            busy += max(0, end - self._busy_since)
+        return busy
 
 
 class LatencyBreakdown:

@@ -39,6 +39,7 @@ SCALING_KNOBS = [
     "check_coalesce_limit",
     "check_coalesce_window",
     "sim_kernel",
+    "telemetry_window",
 ]
 
 
@@ -137,6 +138,21 @@ def test_architecture_documents_the_chrome_trace_export():
     for phrase in ("flow events", "released_by", "perfetto",
                    "chrome://tracing", "observe-only"):
         assert phrase in text, f"trace-export detail {phrase!r} missing"
+
+
+def test_architecture_documents_the_telemetry_subsystem():
+    text = _doc_text().lower()
+    for phrase in ("telemetry_window", "--telemetry-window", "--metrics-out",
+                   "schema_version", "bottleneck timeline", "counter lane",
+                   "window-delta read", "host_signals", "workers.busy",
+                   "dep_table.kickoff_waiters", "repro report"):
+        assert phrase in text, f"telemetry detail {phrase!r} missing"
+    # The reproduce recipe (sampled run -> metrics -> report diff) is in
+    # the README too.
+    readme = (REPO / "README.md").read_text()
+    assert "--telemetry-window" in readme
+    assert "--metrics-out" in readme
+    assert "repro report" in readme
 
 
 def test_architecture_documents_the_granularity_workloads():

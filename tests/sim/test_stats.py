@@ -57,3 +57,60 @@ def test_empty_histogram():
     stat = LevelStat(sim)
     assert stat.histogram() == {}
     assert stat.fraction_at_or_above(1) == 0.0
+
+
+class TestZeroDurationGuards:
+    """Zero-duration spans (a truncated or 0-task run read at its creation
+    instant) must report 0.0, never raise or report a phantom level."""
+
+    def test_occupancy_mean_over_zero_span_is_zero(self):
+        from repro.sim import OccupancyStat
+
+        sim = Simulator()
+        stat = OccupancyStat(sim)
+        stat.record(7)                      # level 7 at t=0, no time passes
+        assert stat.mean() == 0.0
+        assert stat.mean(until=0) == 0.0
+
+    def test_level_histogram_over_zero_span_is_empty(self):
+        sim = Simulator()
+        stat = LevelStat(sim)
+        stat.record(3)
+        assert stat.histogram() == {}
+        assert stat.fraction_at_or_above(1) == 0.0
+        assert stat.time_at_or_above(1) == 0
+
+    def test_busy_utilization_over_zero_span_is_zero(self):
+        from repro.sim import BusyTracker
+
+        sim = Simulator()
+        tracker = BusyTracker(sim)
+        assert tracker.utilization(0) == 0.0
+        assert tracker.utilization(-5) == 0.0
+        tracker.begin()                     # open interval, still t=0
+        assert tracker.utilization(0) == 0.0
+
+    def test_windowed_delta_reads(self):
+        """The cumulative readers behind the telemetry sampler."""
+        from repro.sim import BusyTracker, OccupancyStat
+
+        sim = Simulator()
+        occ = OccupancyStat(sim)
+        busy = BusyTracker(sim)
+        lvl = LevelStat(sim)
+        occ.record(2)
+        busy.begin()
+        lvl.record(1)
+        _advance(sim, 100)                  # t=100
+        # An open busy interval is clipped at ``until`` (the sampler reads
+        # it mid-flight at a window boundary).
+        assert busy.busy_through(until=50) == 50
+        busy.end()
+        lvl.record(4)
+        _advance(sim, 100)                  # t=200
+        assert occ.area(until=100) == 200
+        assert occ.area() == 400
+        assert busy.busy_through() == 100
+        assert lvl.time_at_or_above(4) == 100
+        assert lvl.time_at_or_above(1) == 200
+        assert lvl.time_at_or_above(1, until=150) == 150

@@ -439,3 +439,99 @@ class TestEfficiencyAndExport:
         with pytest.raises(SystemExit, match="different sweep grids"):
             main(["sweep", "wait-chain", "--efficiency", "--shards", "2",
                   "--resolve"])
+
+
+class TestTelemetryCli:
+    ARGS = ["run", "wait-chain", "--rows", "4", "--cols", "6",
+            "--spin-ns", "500", "--workers", "4",
+            "--telemetry-window", "2000"]
+
+    def test_run_with_telemetry_prints_timeline(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: " in out and "windows" in out
+        assert "bottleneck timeline: " in out
+
+    def test_metrics_out_report_and_self_diff(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(self.ARGS + ["--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 1
+        assert doc["telemetry"]["signals"]["workers.busy"]
+
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "workers.busy" in out
+
+        assert main(["report", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "+0.00%" in out
+
+    def test_report_rejects_invalid_document(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "repro-metrics"}))
+        assert main(["report", str(bad)]) == 1
+        assert "invalid metrics document" in capsys.readouterr().out
+
+    def test_report_missing_file_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["report", str(tmp_path / "nope.json")])
+
+    def test_metrics_out_without_telemetry_still_validates(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "plain.json"
+        assert main(["run", "wait-chain", "--rows", "3", "--cols", "4",
+                     "--workers", "2", "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        assert doc["telemetry"] is None
+        assert main(["report", str(path)]) == 0
+        assert "telemetry: off" in capsys.readouterr().out
+
+    def test_sweep_profile_attaches_kernel_stats(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        assert main(["sweep", "wait-chain", "--rows", "4", "--cols", "6",
+                     "--spin-ns", "500", "--workers", "4",
+                     "--cores", "1,2", "--profile",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel profile [" in out
+        payload = json.loads(path.read_text())
+        for row in payload["rows"]:
+            assert row["sim"]["events_processed"] > 0
+            assert "wall_seconds" in row["sim"]
+
+    def test_shard_sweep_profile_attaches_kernel_stats(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "shards.json"
+        assert main(["sweep", "random", "--tasks", "120", "--workers", "4",
+                     "--shards", "1,2", "--no-contention", "--profile",
+                     "--json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert all(r["sim"]["events_processed"] > 0 for r in payload["rows"])
+
+    def test_sweep_without_profile_keeps_rows_clean(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "plain-sweep.json"
+        assert main(["sweep", "wait-chain", "--rows", "4", "--cols", "6",
+                     "--spin-ns", "500", "--workers", "4",
+                     "--cores", "1,2", "--json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert all("sim" not in r for r in payload["rows"])
+
+    def test_telemetry_window_rejects_negative(self):
+        with pytest.raises(SystemExit, match="telemetry_window"):
+            main(["run", "wait-chain", "--rows", "3", "--cols", "4",
+                  "--workers", "2", "--telemetry-window", "-5"])
