@@ -1,0 +1,309 @@
+"""Same-cycle fast-path execution layer: measured.
+
+PR 10 added a host-side fast path (``SystemConfig.fast_path``, default
+on) with two parts:
+
+* **direct-dispatch hand-off** — a zero-latency wake-up whose target
+  would be the very next event to fire is invoked inline from the ready
+  ring (depth-guarded; the fallback append reproduces the scheduled
+  order exactly), and
+* **callback-form hot blocks** — the profile's top offenders (every
+  sharded-Maestro engine, ``send_tds_block``/Write TP, the fabric
+  merge/resequence units, the Task Controller pipeline) run as
+  allocation-free callback state machines (``sim.CallbackBlock``)
+  instead of generator coroutines, eliminating the per-step
+  ``generator.send`` frame and ``Process._resume`` waitable dispatch.
+
+Both parts are cycle-invisible: the fast path changes *when the host
+runs Python*, never the modelled ``(time, scheduling order)`` sequence
+(``tests/integration/test_fast_path_differential``).  This bench is
+purely about host wall-clock:
+
+* **micro** — the 16-pair producer/consumer mesh of bench_sim_kernel,
+  written twice: generator bodies vs callback state machines.  With
+  near-trivial bodies the scheduler + process layer is the whole cost,
+  so this is the conversion's headroom, measured (~1.4-1.5x on the dev
+  machine).
+* **machine** — the hazard-dense 1200-task full-knob machine, fast path
+  on vs off, interleaved A/B rounds.  Here the win is diluted to
+  ~1.05-1.1x: profiling shows the machine spends ~17 Python calls per
+  event, of which the generator machinery the fast path removes
+  (``gen.send`` + ``Process._resume``) is only ~2 — the rest is the
+  kernel run loop, channel arming, and the modelled hardware bodies
+  themselves, which the fast path must keep bit-identical.
+
+Honest context: the issue aspired to >=1.5x machine events/sec from
+this layer alone.  As with the kernel rebuild's 10x aspiration
+(bench_sim_kernel), that is out of reach in pure Python: the removable
+generator overhead is a small slice of machine per-event cost, and
+inline dispatch itself is net-neutral at machine hazard density (the
+recursive frame costs what the ring drain saved).  The assertions pin
+what the layer actually delivers — a real micro-level win, a small
+machine-level win, and exact cycle identity — with CI-safe slack.
+
+Reproduce from the CLI::
+
+    python -m repro run random --tasks 1200 --addresses 96 --shards 4 \
+        --masters 8 --batch 8 --retire-depth 4 --td-cache 64 --fast-path \
+        --coalesce 8 --spec-kickoff --check-scatter --check-coalesce 8 \
+        --no-contention --profile [--no-sim-fast-path]
+
+The machine-readable numbers land in ``BENCH_fast_path.json`` at the
+repository root; the JSON also pins the dev-machine million-task
+waypoint (generation + simulation wall time) that
+``tests/integration/test_scale.py`` re-runs at full scale.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import FULL, report
+
+from repro.analysis import render_table
+from repro.config import BUS_MODEL_FITTED, SystemConfig
+from repro.machine import run_trace
+from repro.sim import CallbackBlock, Fifo, Simulator
+from repro.traces import random_trace
+
+N_TASKS = 3000 if FULL else 1200
+MICRO_EVENTS = 1_200_000 if FULL else 400_000
+MICRO_PAIRS = 16
+ROUNDS = 3 if FULL else 2
+
+JSON_PATH = Path(__file__).parent.parent / "BENCH_fast_path.json"
+
+#: Pinned dev-machine numbers for the million-task waypoint (see the
+#: payload comment below); refreshed whenever the waypoint is re-run.
+MILLION_TASK_REFERENCE = {
+    "n_tasks": 1_000_000,
+    "generate_seconds": 20.9,
+    "simulate_seconds": 136.4,
+    "events_processed": 67_997_461,
+    "events_per_sec": 505_147,
+    "tasks_per_sec": 7_429,
+}
+
+
+class _Producer(CallbackBlock):
+    """Callback twin of bench_sim_kernel's generator producer."""
+
+    __slots__ = ("fifo", "n", "i", "_s_sent")
+
+    def __init__(self, sim, fifo, n, name):
+        self.fifo = fifo
+        self.n = n
+        self.i = 0
+        self._s_sent = self._sent
+        super().__init__(sim, name, self._sent)
+
+    def _sent(self, _):
+        i = self.i
+        if i >= self.n:
+            self._exit()
+            return
+        self.i = i + 1
+        self._put(self.fifo, i, self._s_sent)
+
+
+class _Consumer(CallbackBlock):
+    """Callback twin of the generator consumer (get + 2 ps timeout)."""
+
+    __slots__ = ("fifo", "n", "i", "_s_got", "_s_woke")
+
+    def __init__(self, sim, fifo, n, name):
+        self.fifo = fifo
+        self.n = n
+        self.i = 0
+        self._s_got = self._got
+        self._s_woke = self._woke
+        super().__init__(sim, name, self._woke)
+
+    def _woke(self, _):
+        i = self.i
+        if i >= self.n:
+            self._exit()
+            return
+        self.i = i + 1
+        self._get(self.fifo, self._s_got)
+
+    def _got(self, _item):
+        self._sleep(2, self._s_woke)
+
+
+def _micro(form: str, fast_path: bool) -> dict:
+    """The FIFO-handoff mesh with generator or callback bodies."""
+    sim = Simulator(kernel="wheel", fast_path=fast_path)
+    per = MICRO_EVENTS // MICRO_PAIRS
+
+    def producer(f):
+        for i in range(per):
+            yield f.put(i)
+
+    def consumer(f):
+        for _ in range(per):
+            yield f.get()
+            yield sim.timeout(2)
+
+    for p in range(MICRO_PAIRS):
+        f = Fifo(sim, capacity=4)
+        if form == "generator":
+            sim.process(producer(f), name=f"p{p}")
+            sim.process(consumer(f), name=f"c{p}")
+        else:
+            _Producer(sim, f, per, f"p{p}")
+            _Consumer(sim, f, per, f"c{p}")
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "events": sim.events_processed,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(sim.events_processed / wall),
+    }
+
+
+def _machine(fast_path: bool, trace) -> dict:
+    """The hazard-dense full-knob machine, fast path on or off."""
+    cfg = SystemConfig(
+        workers=8,
+        maestro_shards=4,
+        master_cores=8,
+        submission_batch=8,
+        retire_pipeline_depth=4,
+        td_cache_entries=64,
+        td_prefetch_depth=2,
+        kickoff_fast_path=True,
+        finish_coalesce_limit=8,
+        speculative_kickoff=True,
+        decentralized_check_scatter=True,
+        check_coalesce_limit=8,
+        memory_contention=False,
+        bus_model=BUS_MODEL_FITTED,
+        fast_path=fast_path,
+    )
+    result = run_trace(trace, cfg)
+    sim = dict(result.stats["sim"])
+    sim["makespan_ps"] = result.makespan
+    sim["tasks"] = len(result.records)
+    return sim
+
+
+def _best(fn, *args):
+    best = None
+    for _ in range(ROUNDS):
+        r = fn(*args)
+        if best is None or r["events_per_sec"] > best["events_per_sec"]:
+            best = r
+    return best
+
+
+def _machine_pair(trace) -> tuple[dict, dict]:
+    """Interleaved on/off rounds (A/B, alternating order) — box noise on
+    a shared runner exceeds the effect size, so only paired best-of is
+    trustworthy."""
+    on = off = None
+    for r in range(ROUNDS):
+        order = (True, False) if r % 2 == 0 else (False, True)
+        for fp in order:
+            res = _machine(fp, trace)
+            if fp:
+                on = res if on is None or res["events_per_sec"] > on["events_per_sec"] else on
+            else:
+                off = res if off is None or res["events_per_sec"] > off["events_per_sec"] else off
+    return on, off
+
+
+def _experiment():
+    trace = random_trace(
+        N_TASKS,
+        n_addresses=96,
+        max_params=6,
+        seed=7,
+        mean_exec=4000,
+        mean_memory=0,
+        name="random-hazard-dense",
+    )
+    micro = {
+        "generator": _best(_micro, "generator", True),
+        "callback": _best(_micro, "callback", True),
+        "callback_fast_off": _best(_micro, "callback", False),
+    }
+    on, off = _machine_pair(trace)
+    return {"micro": micro, "machine": {"fast_on": on, "fast_off": off}}
+
+
+def test_fast_path_throughput(benchmark):
+    data = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    micro = data["micro"]
+    on = data["machine"]["fast_on"]
+    off = data["machine"]["fast_off"]
+
+    micro_ratio = (
+        micro["callback"]["events_per_sec"]
+        / micro["generator"]["events_per_sec"]
+    )
+    machine_ratio = on["events_per_sec"] / off["events_per_sec"]
+    payload = {
+        "trace": "random-hazard-dense",
+        "n_tasks": N_TASKS,
+        "micro": micro,
+        "machine": data["machine"],
+        "callback_over_generator_micro": round(micro_ratio, 3),
+        "fast_on_over_off_machine": round(machine_ratio, 3),
+        # Dev-machine million-task waypoint (random_trace(1_000_000,
+        # n_addresses=1024, max_params=1), 32 workers x 4 shards,
+        # coalescing check/finish paths): pinned from a live run so the
+        # scale test's budget and this bench stay honest about what a
+        # full-size trace costs.  Informational — the live assertions
+        # below compare this run's own numbers only.
+        "million_task_reference": MILLION_TASK_REFERENCE,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = []
+    for scope, r in (
+        ("micro generator", micro["generator"]),
+        ("micro callback", micro["callback"]),
+        ("micro callback, fast off", micro["callback_fast_off"]),
+        ("machine fast on", on),
+        ("machine fast off", off),
+    ):
+        events = r.get("events", r.get("events_processed"))
+        rows.append(
+            [
+                scope,
+                f"{events:,}",
+                f"{r['wall_seconds']:.3f}",
+                f"{r['events_per_sec']:,}",
+            ]
+        )
+    table = render_table(
+        ["scope", "events", "wall (s)", "events/s"],
+        rows,
+        f"Fast-path throughput ({N_TASKS}-task hazard-dense machine + "
+        f"{MICRO_EVENTS // 1000}k-event micro mesh)",
+    )
+    table += (
+        f"\ncallback/generator micro {micro_ratio:.2f}x, "
+        f"machine fast on/off {machine_ratio:.2f}x"
+        f"\nmachine-readable numbers: {JSON_PATH.name}"
+    )
+    report("fast_path", table)
+
+    # Cycle identity, cheap recheck: the fast path may only change host
+    # wall-clock, never the modelled schedule.  (The full golden-digest
+    # comparison across kernels and shard counts lives in
+    # tests/integration/test_fast_path_differential.)
+    assert on["events_processed"] == off["events_processed"]
+    assert on["makespan_ps"] == off["makespan_ps"]
+    assert micro["callback"]["events"] == micro["generator"]["events"]
+    # The conversion must show its real win where the process layer is
+    # the whole cost (measured ~1.4-1.5x; 1.15 leaves CI-noise slack)...
+    assert micro_ratio >= 1.15, f"micro callback/generator only {micro_ratio:.2f}x"
+    # ...and must never cost wall-clock on the machine (measured
+    # ~1.05-1.1x there; the floor only guards against a regression).
+    assert machine_ratio >= 0.95, f"machine fast on/off only {machine_ratio:.2f}x"
+    # Absolute floor, far under dev-machine numbers (~0.5M events/s) —
+    # a regression to per-event allocation trips this on any runner.
+    assert on["events_per_sec"] > 120_000

@@ -299,6 +299,19 @@ def telemetry_schema() -> Dict[str, Any]:
             "signals": "dict[str, list[number]] (lengths == len(times_ps))",
             "host_signals": "list[str] (subset of signals)",
         },
+        # Host-performance block carried in aggregates["sim"]: wall-clock
+        # facts about the simulation run itself (never the modelled
+        # machine — the schedule is identical whatever these read).
+        "aggregates.sim": {
+            "kernel": "str (heap|wheel)",
+            "fast_path": "bool",
+            "wall_seconds": "number",
+            "events_processed": "int",
+            "events_per_sec": "int",
+            "tasks_per_sec": "int",
+            "peak_pending_events": "int",
+            "hotspots": "optional list[object] (run --profile-hotspots)",
+        },
         "kind": "repro-metrics",
     }
 
@@ -435,6 +448,15 @@ def render_metrics(doc: Dict[str, Any]) -> str:
         f"makespan {doc['makespan_ps'] / 1e9:.4g} ms, "
         f"worker utilization {doc['worker_utilization']:.1%}",
     ]
+    sim = doc.get("aggregates", {}).get("sim")
+    if sim:
+        lines.append(
+            f"host: {sim['kernel']} kernel"
+            f"{' + fast path' if sim.get('fast_path') else ''}, "
+            f"{sim['events_per_sec']:,} events/s, "
+            f"{sim.get('tasks_per_sec', 0):,} tasks/s "
+            f"({sim['wall_seconds']:.3f}s wall)"
+        )
     if doc["master_done_ps"] is None:
         lines.append("run truncated before the masters finished")
     tel = doc.get("telemetry")

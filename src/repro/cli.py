@@ -265,6 +265,8 @@ def _config_from(
         overrides["check_coalesce_window"] = args.check_coalesce_window * NS
     if getattr(args, "kernel", None) is not None:
         overrides["sim_kernel"] = args.kernel
+    if getattr(args, "sim_fast_path", None) is not None:
+        overrides["fast_path"] = args.sim_fast_path
     if getattr(args, "telemetry_window", None) is not None:
         from .sim import NS
 
@@ -320,6 +322,19 @@ def _add_machine_args(p: argparse.ArgumentParser) -> None:
         help="windowed telemetry sampling period in ns (0/omitted = off); "
         "observe-only — the sampled schedule is cycle-identical to an "
         "unsampled run",
+    )
+    fp = p.add_mutually_exclusive_group()
+    fp.add_argument(
+        "--sim-fast-path", dest="sim_fast_path", action="store_true",
+        default=None,
+        help="host-side same-cycle fast path: inline zero-latency "
+        "wake-ups + callback-form hot blocks (default; results are "
+        "cycle-identical either way)",
+    )
+    fp.add_argument(
+        "--no-sim-fast-path", dest="sim_fast_path", action="store_false",
+        help="disable the host-side fast path (generator blocks, every "
+        "wake-up through the ready ring) — debugging/benchmark baseline",
     )
 
 
@@ -399,20 +414,83 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_with_hotspots(trace: TaskTrace, cfg: SystemConfig, top_n: int):
+    """Run under cProfile; returns (result, top-N host hotspot rows).
+
+    The profiler only observes the host interpreter — the modelled
+    schedule is identical to an unprofiled run (the clock is event
+    counts and virtual time, never wall time).
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_trace(trace, cfg)
+    finally:
+        profiler.disable()
+    st = pstats.Stats(profiler)
+    st.sort_stats("tottime")
+    hotspots = []
+    for func in st.fcn_list[:top_n]:
+        cc, nc, tt, ct, _callers = st.stats[func]
+        filename, line, name = func
+        if filename == "~":
+            where = name  # builtins print as e.g. "<method 'send' ...>"
+        else:
+            import os.path
+
+            where = f"{os.path.basename(filename)}:{line}:{name}"
+        hotspots.append(
+            {
+                "function": where,
+                "calls": nc,
+                "tottime_seconds": round(tt, 4),
+                "cumtime_seconds": round(ct, 4),
+            }
+        )
+    return result, hotspots
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args)
     cfg = _config_from(args, shards=args.shards)
     print(trace.describe())
-    result = run_trace(trace, cfg)
+    hotspots_n = getattr(args, "profile_hotspots", None)
+    if hotspots_n:
+        result, hotspots = _run_with_hotspots(trace, cfg, hotspots_n)
+        result.stats["sim"]["hotspots"] = hotspots
+    else:
+        result = run_trace(trace, cfg)
     print(result.summary())
-    if getattr(args, "profile", False):
+    if getattr(args, "profile", False) or hotspots_n:
         prof = result.stats["sim"]
         print(
-            f"kernel profile [{prof['kernel']}]: "
+            f"kernel profile [{prof['kernel']}"
+            f"{', fast path' if prof.get('fast_path') else ''}]: "
             f"{prof['wall_seconds']:.3f}s wall, "
             f"{prof['events_processed']:,} events "
             f"({prof['events_per_sec']:,}/s), "
+            f"{prof['tasks_per_sec']:,} tasks/s, "
             f"peak pending {prof['peak_pending_events']:,}"
+        )
+    if hotspots_n:
+        rows = [
+            [
+                h["function"],
+                f"{h['calls']:,}",
+                f"{h['tottime_seconds']:.3f}",
+                f"{h['cumtime_seconds']:.3f}",
+            ]
+            for h in result.stats["sim"]["hotspots"]
+        ]
+        print(
+            render_table(
+                ["function", "calls", "tottime (s)", "cumtime (s)"],
+                rows,
+                f"Host hotspots (cProfile, top {hotspots_n} by tottime)",
+            )
         )
     if args.verify:
         graph = build_task_graph(trace)
@@ -1131,7 +1209,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     p_run.add_argument(
         "--profile", action="store_true",
         help="report host-side kernel performance (wall-clock, events "
-        "processed, events/sec, peak pending events)",
+        "processed, events/sec, tasks/sec, peak pending events)",
+    )
+    p_run.add_argument(
+        "--profile-hotspots", type=int, nargs="?", const=10, default=None,
+        metavar="N",
+        help="run under cProfile and print the top N host functions by "
+        "total time (default 10); also attached to stats['sim']"
+        "['hotspots'] in --metrics-out documents. Observe-only — the "
+        "modelled schedule is unchanged",
     )
     p_run.add_argument(
         "--trace-out", default=None,

@@ -249,6 +249,17 @@ class SystemConfig:
     #: modelled results.
     sim_kernel: str = "wheel"
 
+    #: Same-cycle fast-path execution (host-side, default on): zero-latency
+    #: wake-ups (a ``put`` meeting a waiting getter, a set signal, a free
+    #: resource unit) run inline from the wheel kernel's ready ring instead
+    #: of paying a schedule/drain round trip, and the hottest hardware
+    #: blocks (Task Controller loops, *Send TDs*) are built as
+    #: allocation-free callback state machines instead of generator
+    #: coroutines.  Cycle-identical to ``fast_path=False`` and to the heap
+    #: kernel (differential-tested): like ``sim_kernel``, the knob only
+    #: trades wall-clock speed, never modelled results.
+    fast_path: bool = True
+
     # ---- telemetry ----------------------------------------------------------------
     #: Telemetry sampling window in picoseconds; 0 (default) disables the
     #: windowed :class:`~repro.analysis.telemetry.TelemetrySampler` and

@@ -40,6 +40,7 @@ SCALING_KNOBS = [
     "check_coalesce_window",
     "sim_kernel",
     "telemetry_window",
+    "fast_path",
 ]
 
 

@@ -1,0 +1,141 @@
+"""Differential tests for the same-cycle fast-path layer (PR 10).
+
+The fast path changes how the host executes the schedule — zero-latency
+wake-ups run inline from the ready ring, and the hot hardware blocks run
+as callback state machines instead of generator coroutines — but it may
+not change a single modelled cycle.  These tests replay the full PR 6+9
+knob pile (multi-master batched submission, retire pipelining, fast
+dispatch, staged resolve with coalescing + speculative kick-off,
+decentralized check scatter with check coalescing, windowed telemetry)
+with the fast path on and off, on both kernels, across every engine
+(single-Maestro, forced sharded at 1 shard, 2 and 4 shards), and demand
+bit-identical schedules.
+
+Like the kernel differential (PR 7) there are no pinned golden constants
+here: both modes are live in-tree, so each case runs the same machine
+twice and compares complete schedules directly.  (The pinned goldens in
+the sibling differential suites all run with the fast path on — the
+default — so the pre-PR constants independently pin the fast path's
+absolute schedules.)
+"""
+
+import hashlib
+
+import pytest
+
+from repro.config import BUS_MODEL_FITTED, SystemConfig
+from repro.machine import run_trace
+from repro.sim import NS
+from repro.traces import random_trace
+
+
+def _random():
+    return random_trace(
+        400,
+        n_addresses=96,
+        max_params=6,
+        seed=7,
+        mean_exec=4000,
+        mean_memory=0,
+        name="random-hazard-dense",
+    )
+
+
+ENGINES = {
+    "single": dict(),
+    "forced1": dict(maestro_shards=1, force_sharded_maestro=True),
+    "shards2": dict(maestro_shards=2),
+    "shards4": dict(maestro_shards=4),
+}
+
+
+def _config(engine: str, kernel: str, fast_path: bool) -> SystemConfig:
+    base = dict(
+        workers=8,
+        master_cores=4,
+        submission_batch=8,
+        memory_contention=False,
+        bus_model=BUS_MODEL_FITTED,
+        sim_kernel=kernel,
+        fast_path=fast_path,
+        # The PR 9 sampler reads window deltas of the occupancy/busy
+        # statistics the fast path's inlined drains also touch — keeping
+        # it on here pins that the sampled series match too.
+        telemetry_window=100 * NS,
+    )
+    if engine != "single":
+        # The full PR 6 stack: retire pipeline + fast dispatch + staged
+        # resolve + decentralized, coalescing check path.
+        base.update(
+            retire_pipeline_depth=4,
+            td_cache_entries=16,
+            td_prefetch_depth=2,
+            kickoff_fast_path=True,
+            finish_coalesce_limit=8,
+            speculative_kickoff=True,
+            decentralized_check_scatter=True,
+            check_coalesce_limit=8,
+        )
+    base.update(ENGINES[engine])
+    return SystemConfig(**base)
+
+
+def _schedule_digest(result) -> str:
+    """Digest of every task's full lifecycle: any single-event drift in
+    ready/dispatch/exec/retire timing or core assignment changes it."""
+    rows = [
+        (r.tid, r.core, r.ready, r.dispatched, r.exec_start, r.completed)
+        for r in result.records
+    ]
+    return hashlib.sha256(repr(rows).encode()).hexdigest()[:16]
+
+
+@pytest.mark.parametrize("kernel", ["heap", "wheel"])
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_fast_path_is_cycle_identical(engine, kernel):
+    trace = _random()
+    on = run_trace(trace, _config(engine, kernel, True))
+    off = run_trace(trace, _config(engine, kernel, False))
+    assert on.makespan == off.makespan
+    assert _schedule_digest(on) == _schedule_digest(off)
+    # Inlined wake-ups count as processed events, so even the host-side
+    # event totals agree — the fast path fires the same events, it just
+    # skips the queue for some of them.
+    assert (
+        on.stats["sim"]["events_processed"]
+        == off.stats["sim"]["events_processed"]
+    )
+    assert on.stats["sim"]["fast_path"] is True
+    assert off.stats["sim"]["fast_path"] is False
+
+
+def test_fast_path_knob_is_host_side_only():
+    """The knob flows config -> machine -> report, and flipping it leaves
+    every modelled statistic — including the PR 9 telemetry series —
+    identical (only the host-side sim block and the config note differ)."""
+    trace = _random()
+    on = run_trace(trace, _config("shards4", "wheel", True))
+    off = run_trace(trace, _config("shards4", "wheel", False))
+    assert on.config_notes["fast_path"] is True
+    assert off.config_notes["fast_path"] is False
+
+    def modelled(result):
+        stats = dict(result.stats)
+        stats.pop("sim")
+        telemetry = stats.get("telemetry")
+        if telemetry:
+            # Host-derived signals (wall-clock rates) legitimately differ.
+            host = set(telemetry.get("host_signals", []))
+            telemetry = dict(telemetry)
+            telemetry["signals"] = {
+                k: v for k, v in telemetry["signals"].items() if k not in host
+            }
+            stats["telemetry"] = telemetry
+        return repr(stats)
+
+    assert modelled(on) == modelled(off)
+
+
+def test_fast_path_validates():
+    assert SystemConfig().fast_path is True
+    assert SystemConfig(fast_path=False).fast_path is False
